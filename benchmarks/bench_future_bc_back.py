@@ -1,0 +1,93 @@
+"""Future work (Section 8) — blocked bulge-chasing back transformation.
+
+The paper leaves the BC back transformation (61% of the eigenvector path)
+as future work.  This repo implements the natural fix — WY-blocking runs
+of consecutive same-sweep reflectors into width-``g`` GEMMs — and prices
+it: past the break-even width the grouped scheme cuts the dominant stage
+several-fold, which would flip the Figure-16 "vectors" comparison.
+
+``[simulated]`` — cost vs group width, and the resulting end-to-end EVD.
+``[measured]`` — the real blocked application: exactness vs the scalar
+loop and laptop wall time across group sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.band.ops import random_symmetric_band
+from repro.bench.reporting import banner
+from repro.core.bc_back_transform import (
+    apply_q1_blocked,
+    blocked_bc_back_time,
+    blocked_q1_blocks,
+)
+from repro.core.bulge_chasing import bulge_chase
+from repro.gpusim import H100
+from repro.models.baselines import bc_back_transform_time
+from repro.models.proposed import proposed_evd_times
+
+N, B = 49152, 32
+GROUPS = [8, 16, 32, 64, 128, 256]
+
+
+def test_future_blocked_bcback_simulated(benchmark, report):
+    scalar = bc_back_transform_time(H100, N, B)
+    rows = benchmark(
+        lambda: [(g, blocked_bc_back_time(H100, N, B, g)) for g in GROUPS]
+    )
+    report(banner("Future work: blocked BC back transformation (H100)",
+                  "simulated"))
+    report(f"  today's scheme (paper's bottleneck): {scalar:7.1f} s")
+    for g, t in rows:
+        mark = "  <- beats today's scheme" if t < scalar else ""
+        report(f"  WY group {g:4d}: {t:7.1f} s{mark}")
+    best = min(t for _, t in rows)
+    evd_today = proposed_evd_times(H100, N, True)
+    improved = evd_today.total - evd_today.stages["bc_back"] + best
+    report(f"  proposed EVD (vectors) today: {evd_today.total:6.1f} s "
+           f"(bc_back {evd_today.fraction('bc_back'):.0%})")
+    report(f"  with blocked bc_back:         {improved:6.1f} s "
+           f"({evd_today.total / improved:.2f}x end-to-end)")
+    assert best < scalar / 2
+    assert improved < evd_today.total
+
+
+def test_future_blocked_bcback_measured(benchmark, report):
+    """Real numerics: the blocked application across group widths is
+    exact, and the laptop wall time already improves (fewer Python-level
+    operations, bigger GEMMs)."""
+    n, b = 200, 4
+    A = random_symmetric_band(n, b, np.random.default_rng(60))
+    bc = bulge_chase(A, b)
+    X = np.eye(n)
+
+    def run():
+        blocks = blocked_q1_blocks(bc, group=16)
+        Y = X.copy()
+        apply_q1_blocked(blocks, Y)
+        return Y
+
+    Y_blocked = benchmark(run)
+    Y_scalar = X.copy()
+    bc.apply_q1(Y_scalar)
+    err = np.max(np.abs(Y_blocked - Y_scalar))
+    report(banner("Future work (measured): blocked vs scalar Q1", "measured"))
+    report(f"  n={n}, b={b}, reflectors={len(bc.reflectors)}")
+    report(f"  max deviation blocked vs scalar: {err:.2e}")
+    assert err < 1e-12
+
+
+def test_future_scalar_bcback_measured(benchmark):
+    """Scalar reference application for the pytest-benchmark comparison."""
+    n, b = 200, 4
+    A = random_symmetric_band(n, b, np.random.default_rng(60))
+    bc = bulge_chase(A, b)
+    X = np.eye(n)
+
+    def run():
+        Y = X.copy()
+        bc.apply_q1(Y)
+        return Y
+
+    benchmark(run)

@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures.  Real NumPy
+numerics are timed with pytest-benchmark at laptop scale (``[measured]``);
+device-scale series come from the calibrated simulator (``[simulated]``).
+Each report is printed and also written to ``benchmarks/out/<name>.txt`` so
+EXPERIMENTS.md can reference the exact artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def pytest_collection_modifyitems(items):
+    """Cap benchmark rounds: the measured pipelines run whole EVDs per
+    round, so default calibration would take minutes per test."""
+    for item in items:
+        item.add_marker(
+            pytest.mark.benchmark(max_time=0.8, min_rounds=3, warmup=False)
+        )
+
+
+@pytest.fixture
+def report(request):
+    """A writer that tees benchmark report lines to stdout and a file."""
+    OUT_DIR.mkdir(exist_ok=True)
+    name = request.node.name.replace("/", "_")
+    path = OUT_DIR / f"{name}.txt"
+    lines: list[str] = []
+
+    def emit(*parts: object) -> None:
+        line = " ".join(str(p) for p in parts)
+        lines.append(line)
+        print(line)
+
+    yield emit
+    path.write_text("\n".join(lines) + "\n")

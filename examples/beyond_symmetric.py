@@ -1,0 +1,68 @@
+"""Beyond real-symmetric: Hermitian, generalized, and SVD problems.
+
+The paper's substrate (Householder reductions + tridiagonal divide &
+conquer + back transformation) solves more than the standard symmetric
+eigenproblem.  This example exercises the three problem-class extensions:
+
+  1. complex Hermitian EVD (the `zheevd` problem, via the real symmetric
+     embedding);
+  2. the generalized symmetric-definite problem ``A x = lambda B x``
+     (the Ltaief et al. problem cited in related work, via Cholesky);
+  3. SVD through bidiagonalization + the Golub-Kahan tridiagonal (the
+     Gates et al. [10] companion problem).
+
+    python examples/beyond_symmetric.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.extensions import eigh_generalized, eigh_hermitian
+from repro.core.svd import svd
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+
+    # --- 1. Hermitian: a random tight-binding-style Hamiltonian ----------
+    n = 80
+    G = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+    H = (G + G.conj().T) / 2.0
+    lam, V = eigh_hermitian(H)
+    resid = np.linalg.norm(H @ V - V * lam) / np.linalg.norm(H)
+    orth = np.linalg.norm(V.conj().T @ V - np.eye(n))
+    print(f"Hermitian EVD      n={n}: residual {resid:.2e}, unitarity {orth:.2e}")
+    print(f"  (solved as one real symmetric problem of size {2 * n})")
+
+    # --- 2. Generalized: a stiffness/mass pencil --------------------------
+    n = 60
+    A = rng.standard_normal((n, n))
+    A = (A + A.T) / 2.0
+    M = rng.standard_normal((n, n))
+    B = M @ M.T + n * np.eye(n)  # SPD "mass matrix"
+    lam, X = eigh_generalized(A, B)
+    resid = np.linalg.norm(A @ X - B @ X * lam) / np.linalg.norm(A)
+    borth = np.linalg.norm(X.T @ B @ X - np.eye(n))
+    print(f"Generalized EVD    n={n}: residual {resid:.2e}, B-orthonormality "
+          f"{borth:.2e}")
+    print(f"  (own Cholesky + triangular solves; eigenvalues in "
+          f"[{lam[0]:.3g}, {lam[-1]:.3g}])")
+
+    # --- 3. SVD: low-rank plus noise --------------------------------------
+    m, n, r = 120, 60, 5
+    A = rng.standard_normal((m, r)) @ rng.standard_normal((r, n))
+    A += 1e-6 * rng.standard_normal((m, n))
+    s, U, V = svd(A)
+    rec = np.linalg.norm((U * s) @ V.T - A) / np.linalg.norm(A)
+    print(f"SVD              {m}x{n}: reconstruction {rec:.2e}")
+    print(f"  singular values: {np.array2string(s[: r + 2], precision=3)}")
+    print(f"  effective rank at 1e-3 cut: {int(np.sum(s > 1e-3 * s[0]))} "
+          f"(planted {r})")
+    print("\nAll three problems route every flop through the reproduced "
+          "pipeline\n(reflectors -> tridiagonal -> divide & conquer -> "
+          "back transform).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Visualize the GPU bulge-chasing pipeline and the Section 3.3 model.
+
+Simulates the paper-scale pipelined bulge chasing on the H100 model,
+prints an ASCII Gantt chart of sweep lifetimes, the achieved-throughput
+curve of Figure 12, and the Figure 5 closed-form-vs-executor comparison.
+
+    python examples/gpu_pipeline_visualization.py
+"""
+
+from __future__ import annotations
+
+from repro.gpusim import (
+    CPU_8_CORE,
+    H100,
+    bc_task_bytes,
+    bc_task_time_gpu,
+    simulate_bc_pipeline,
+)
+from repro.gpusim.trace import ascii_gantt, throughput_timeline, utilization
+from repro.models.baselines import magma_sb2st_time
+from repro.models.bc_model import bc_time_model
+
+
+def main() -> None:
+    n, b = 65536, 32
+
+    print(f"GPU bulge chasing pipeline, n = {n}, b = {b} (H100 model)\n")
+
+    # Small-scale Gantt so the pipeline shape is visible.
+    small = simulate_bc_pipeline(400, 16, 16, 1e-6)
+    print("Sweep lifetimes (n = 400, b = 16, S = 16):")
+    print(ascii_gantt(small, width=64, max_rows=16))
+    print()
+
+    # Figure 5: closed form vs executor vs the MAGMA line.
+    magma = magma_sb2st_time(CPU_8_CORE, n, b)
+    print(f"Figure 5 — estimated BC time vs S (MAGMA line: {magma:.1f} s)")
+    for S in (1, 4, 16, 32, 64, 128):
+        closed = bc_time_model(n, b, S)
+        sim = simulate_bc_pipeline(n, b, S, 10e-6).total_time_s
+        marker = "  << beats MAGMA" if sim < magma else ""
+        print(f"  S={S:4d}: closed-form {closed:8.1f} s, executor {sim:8.1f} s"
+              f"{marker}")
+    print()
+
+    # Figure 12: throughput vs parallelism, optimized configuration.
+    dt, s_max = bc_task_time_gpu(H100, n, b, optimized=True)
+    print(f"Figure 12 — achieved memory throughput (task = {dt * 1e6:.1f} us, "
+          f"S_max = {s_max})")
+    for S in (1, 8, 32, 132, s_max):
+        sim = simulate_bc_pipeline(n, b, S, dt, bc_task_bytes(b))
+        tl = throughput_timeline(sim)
+        print(f"  S={S:4d}: {sim.throughput_gbs:7.0f} GB/s aggregate, "
+              f"peak {tl.peak_gbs:7.0f} GB/s, "
+              f"slot utilization {utilization(sim):5.1%}")
+    print("\nMore in-flight sweeps -> higher memory throughput, exactly the")
+    print("Nsight observation the paper uses to justify GPU bulge chasing.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Application: kernel PCA via the tridiagonalization pipeline.
+
+Principal component analysis is the first application the paper lists for
+large symmetric EVD (Section 7.2).  This example builds an RBF kernel
+matrix over synthetic clustered data — a dense symmetric matrix whose top
+eigenvectors embed the data — and extracts the leading components with
+``repro.eigh_partial`` (the top-k path: Sturm bisection + inverse
+iteration + a back transform over k columns only).
+
+The quality check is intrinsic: the embedding must separate the planted
+clusters (measured by the ratio of between- to within-cluster distances),
+and the eigenpairs must satisfy the usual residual bounds.
+
+    python examples/pca_application.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+
+
+def make_clustered_data(
+    n_points: int, n_clusters: int, dim: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Points around ``n_clusters`` well-separated centers, with labels."""
+    centers = rng.standard_normal((n_clusters, dim)) * 6.0
+    labels = rng.integers(0, n_clusters, size=n_points)
+    points = centers[labels] + rng.standard_normal((n_points, dim))
+    return points, labels
+
+
+def rbf_kernel(X: np.ndarray, gamma: float) -> np.ndarray:
+    """Centered RBF kernel matrix (the PCA "covariance" in feature space)."""
+    sq = np.sum(X * X, axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (X @ X.T)
+    K = np.exp(-gamma * np.maximum(d2, 0.0))
+    # Double centering (kernel PCA requirement).
+    one = np.full((X.shape[0], X.shape[0]), 1.0 / X.shape[0])
+    return K - one @ K - K @ one + one @ K @ one
+
+
+def cluster_separation(embed: np.ndarray, labels: np.ndarray) -> float:
+    """Between-cluster over within-cluster mean distance in the embedding."""
+    centers = np.array([embed[labels == c].mean(axis=0) for c in np.unique(labels)])
+    within = np.mean(
+        [np.linalg.norm(embed[labels == c] - centers[i], axis=1).mean()
+         for i, c in enumerate(np.unique(labels))]
+    )
+    diffs = centers[:, None, :] - centers[None, :, :]
+    between = np.linalg.norm(diffs, axis=2)
+    between = between[np.triu_indices(len(centers), 1)].mean()
+    return float(between / max(within, 1e-300))
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    n, clusters, dim, k = 400, 4, 12, 4
+    X, labels = make_clustered_data(n, clusters, dim, rng)
+    K = rbf_kernel(X, gamma=0.05)
+
+    print(f"kernel PCA: {n} points, {clusters} planted clusters, "
+          f"extracting top {k} components\n")
+
+    # Top-k eigenpairs of the centered kernel matrix.
+    res = repro.eigh_partial(K, (n - k, n - 1))
+    lam = res.eigenvalues[::-1]  # descending, PCA convention
+    V = res.eigenvectors[:, ::-1]
+
+    resid = np.linalg.norm(K @ V - V * lam) / np.linalg.norm(K)
+    lam_ref = np.linalg.eigvalsh(K)[::-1][:k]
+    print(f"top eigenvalues: {np.array2string(lam, precision=2)}")
+    print(f"  vs numpy:      {np.array2string(lam_ref, precision=2)}")
+    print(f"  eigenpair residual: {resid:.2e}")
+
+    embed = V * np.sqrt(np.maximum(lam, 0.0))
+    sep_embed = cluster_separation(embed, labels)
+    sep_raw = cluster_separation(X, labels)
+    print(f"\ncluster separation (between/within distance ratio):")
+    print(f"  raw {dim}-d data:        {sep_raw:5.2f}")
+    print(f"  kernel PCA ({k} comps):  {sep_embed:5.2f}")
+
+    # Variance captured.
+    total = np.trace(K)
+    print(f"\nvariance captured by {k} components: {np.sum(lam) / total:.1%}")
+    print("\nThe partial-spectrum path answers the PCA query without the "
+          "O(n^3)\nfull-eigenvector back transformation the paper's "
+          "Section 6.2 laments.")
+
+
+if __name__ == "__main__":
+    main()

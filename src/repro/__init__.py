@@ -1,0 +1,57 @@
+"""repro — reproduction of "Improving Tridiagonalization Performance on GPU
+Architectures" (PPoPP 2025).
+
+Public API highlights
+---------------------
+``repro.eigh(A)``
+    Full symmetric EVD through the paper's pipeline (DBBR + pipelined
+    bulge chasing + divide & conquer + incremental back transformation).
+``repro.tridiagonalize(A, method="dbbr"|"sbr"|"direct")``
+    Just the tridiagonalization, with the MAGMA-like and cuSOLVER-like
+    baselines as alternative methods.
+``repro.core``
+    All the building blocks (Householder/WY machinery, panel QR, syr2k
+    schedules, SBR/DBBR, bulge chasing, back transformation).
+``repro.eig``
+    Tridiagonal eigensolvers (divide & conquer, QL iteration, bisection).
+``repro.band``
+    Band-matrix storage (LAPACK lower band + the paper's packed layout).
+``repro.gpusim`` / ``repro.models``
+    The calibrated GPU performance simulator and the analytical models
+    that regenerate the paper's tables and figures at device scale.
+"""
+
+from . import band, core, eig
+from .core import (
+    EVDResult,
+    TridiagResult,
+    dbbr,
+    eigh,
+    eigh_generalized,
+    eigh_hermitian,
+    eigh_partial,
+    sbr,
+    tridiagonalize,
+)
+from .eig import dc_eigh, eigh_bisect, tridiag_qr_eigh
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EVDResult",
+    "TridiagResult",
+    "band",
+    "core",
+    "dbbr",
+    "dc_eigh",
+    "eig",
+    "eigh",
+    "eigh_bisect",
+    "eigh_generalized",
+    "eigh_hermitian",
+    "eigh_partial",
+    "sbr",
+    "tridiag_qr_eigh",
+    "tridiagonalize",
+    "__version__",
+]

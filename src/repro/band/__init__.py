@@ -1,0 +1,47 @@
+"""Symmetric band matrix storage layouts and utilities."""
+
+from .linalg import (
+    band_frobenius_norm,
+    band_gershgorin,
+    band_inf_norm,
+    band_quadratic_form,
+    band_trace,
+    sbmv,
+    tridiag_matvec,
+)
+from .ops import (
+    bandwidth_of,
+    bandwidth_profile,
+    extract_tridiagonal,
+    is_banded,
+    off_band_norm,
+    random_symmetric_band,
+    symmetric_error,
+)
+from .storage import (
+    LowerBandStorage,
+    PackedBandStorage,
+    band_from_dense,
+    dense_from_band,
+)
+
+__all__ = [
+    "LowerBandStorage",
+    "PackedBandStorage",
+    "band_frobenius_norm",
+    "band_from_dense",
+    "band_gershgorin",
+    "band_inf_norm",
+    "band_quadratic_form",
+    "band_trace",
+    "bandwidth_of",
+    "bandwidth_profile",
+    "dense_from_band",
+    "extract_tridiagonal",
+    "is_banded",
+    "off_band_norm",
+    "random_symmetric_band",
+    "sbmv",
+    "symmetric_error",
+    "tridiag_matvec",
+]

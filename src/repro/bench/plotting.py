@@ -1,0 +1,121 @@
+"""Terminal plotting: render figure series as ASCII line/bar charts.
+
+The CLI's ``figure`` command and the examples use this to *draw* the
+paper's figures in a terminal — no plotting dependency, deterministic
+output (testable), log-scale support for the wide dynamic ranges the
+tridiagonalization comparisons span.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["AsciiChart", "line_chart", "bar_chart"]
+
+_MARKERS = "*o+x#@%&"
+
+
+@dataclass
+class AsciiChart:
+    """A rendered chart: the text plus the legend mapping."""
+
+    text: str
+    legend: dict[str, str]
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.text
+
+
+def _scale(values, lo, hi, cells, log):
+    if log:
+        lo = math.log10(max(lo, 1e-300))
+        hi = math.log10(max(hi, 1e-300))
+        values = [math.log10(max(v, 1e-300)) for v in values]
+    span = hi - lo if hi > lo else 1.0
+    return [min(cells - 1, max(0, int((v - lo) / span * (cells - 1) + 0.5))) for v in values]
+
+
+def line_chart(
+    series: list[tuple[str, list[tuple[float, float]]]],
+    width: int = 64,
+    height: int = 18,
+    logy: bool = False,
+    logx: bool = False,
+    title: str = "",
+) -> AsciiChart:
+    """Render ``[(name, [(x, y), ...]), ...]`` as an ASCII scatter/line grid.
+
+    Points of each series get their own marker; collisions show the later
+    series' marker.  Axes are annotated with min/max values.
+    """
+    pts = [(x, y) for _, p in series for x, y in p]
+    if not pts:
+        return AsciiChart(text="(no data)", legend={})
+    xs = [x for x, _ in pts]
+    ys = [y for _, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    grid = [[" "] * width for _ in range(height)]
+    legend: dict[str, str] = {}
+    for idx, (name, p) in enumerate(series):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        legend[name] = marker
+        if not p:
+            continue
+        cols = _scale([x for x, _ in p], x_lo, x_hi, width, logx)
+        rows = _scale([y for _, y in p], y_lo, y_hi, height, logy)
+        prev = None
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = marker
+            if prev is not None:
+                # Sparse interpolation between consecutive points.
+                pc, pr = prev
+                steps = max(abs(c - pc), abs(r - pr))
+                for s in range(1, steps):
+                    ic = pc + (c - pc) * s // steps
+                    ir = pr + (r - pr) * s // steps
+                    if grid[height - 1 - ir][ic] == " ":
+                        grid[height - 1 - ir][ic] = "."
+            prev = (c, r)
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = f"{y_hi:.3g}"
+    y_bot = f"{y_lo:.3g}"
+    pad = max(len(y_top), len(y_bot))
+    for i, row in enumerate(grid):
+        label = y_top if i == 0 else (y_bot if i == height - 1 else "")
+        lines.append(f"{label:>{pad}} |" + "".join(row))
+    lines.append(" " * pad + " +" + "-" * width)
+    x_axis = f"{x_lo:.3g}" + " " * max(1, width - len(f"{x_lo:.3g}") - len(f"{x_hi:.3g}")) + f"{x_hi:.3g}"
+    lines.append(" " * (pad + 2) + x_axis)
+    lines.append(
+        " " * (pad + 2)
+        + "  ".join(f"{m} {name}" for name, m in legend.items())
+        + ("   [log y]" if logy else "")
+    )
+    return AsciiChart(text="\n".join(lines), legend=legend)
+
+
+def bar_chart(
+    labels: list[str],
+    values: list[float],
+    width: int = 48,
+    title: str = "",
+    unit: str = "",
+) -> AsciiChart:
+    """Horizontal bar chart (used for stage breakdowns like Figure 4)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not values:
+        return AsciiChart(text="(no data)", legend={})
+    vmax = max(values) if max(values) > 0 else 1.0
+    pad = max(len(str(l)) for l in labels)
+    total = sum(values)
+    lines = [title] if title else []
+    for label, v in zip(labels, values):
+        bar = "#" * max(1 if v > 0 else 0, int(v / vmax * width))
+        share = f" {v / total:6.1%}" if total > 0 else ""
+        lines.append(f"{str(label):>{pad}} |{bar:<{width}} {v:.3g}{unit}{share}")
+    return AsciiChart(text="\n".join(lines), legend={})

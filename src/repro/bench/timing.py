@@ -1,0 +1,34 @@
+"""Small measurement helpers used by examples and ad-hoc studies.
+
+(pytest-benchmark drives the real benchmark suite; these helpers serve the
+examples and the EXPERIMENTS.md generation scripts.)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["Timing", "measure"]
+
+
+@dataclass
+class Timing:
+    """Repeated-measurement summary (seconds)."""
+
+    best: float
+    mean: float
+    reps: int
+
+
+def measure(fn: Callable[[], object], reps: int = 3, warmup: int = 1) -> Timing:
+    """Best/mean wall time of ``fn`` over ``reps`` runs after ``warmup``."""
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return Timing(best=min(times), mean=sum(times) / len(times), reps=reps)

@@ -1,0 +1,99 @@
+"""Workload generators for tests and benchmarks.
+
+Symmetric matrices with controlled spectra: Gaussian orthogonal ensemble,
+prescribed-eigenvalue constructions (clustered / geometric / uniform),
+Wilkinson-style graded matrices, and band matrices.  All generators take
+an explicit seed or Generator so every benchmark row is reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "goe",
+    "symmetric_with_spectrum",
+    "clustered_spectrum",
+    "geometric_spectrum",
+    "uniform_spectrum",
+    "wilkinson_tridiagonal",
+    "laplacian_1d",
+    "random_band",
+]
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(0 if seed is None else seed)
+
+
+def goe(n: int, seed: int | np.random.Generator | None = 0) -> np.ndarray:
+    """Gaussian orthogonal ensemble: ``(G + G^T) / 2``."""
+    g = _rng(seed).standard_normal((n, n))
+    return (g + g.T) / 2.0
+
+
+def symmetric_with_spectrum(
+    eigenvalues: np.ndarray, seed: int | np.random.Generator | None = 0
+) -> np.ndarray:
+    """``Q diag(lam) Q^T`` for a Haar-random orthogonal ``Q`` — the exact
+    spectrum is known, which lets tests check eigenvalues directly."""
+    lam = np.asarray(eigenvalues, dtype=np.float64)
+    n = lam.size
+    q, _ = np.linalg.qr(_rng(seed).standard_normal((n, n)))
+    return (q * lam) @ q.T
+
+
+def clustered_spectrum(
+    n: int,
+    clusters: int = 4,
+    spread: float = 1e-10,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Eigenvalues in ``clusters`` tight groups — the deflation-heavy case
+    for divide and conquer."""
+    rng = _rng(seed)
+    centers = np.sort(rng.uniform(-1.0, 1.0, size=clusters))
+    lam = np.concatenate(
+        [c + spread * rng.standard_normal(n // clusters + 1) for c in centers]
+    )[:n]
+    return np.sort(lam)
+
+
+def geometric_spectrum(n: int, cond: float = 1e12) -> np.ndarray:
+    """Geometrically spaced eigenvalues with condition number ``cond``."""
+    return np.geomspace(1.0 / cond, 1.0, n)
+
+
+def uniform_spectrum(n: int, lo: float = -1.0, hi: float = 1.0) -> np.ndarray:
+    """Evenly spaced eigenvalues on ``[lo, hi]``."""
+    return np.linspace(lo, hi, n)
+
+
+def wilkinson_tridiagonal(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """The Wilkinson ``W_n^+`` matrix: ``d = |i - (n-1)/2|``, unit
+    off-diagonals — famous for pathologically close eigenvalue pairs."""
+    d = np.abs(np.arange(n) - (n - 1) / 2.0)
+    e = np.ones(n - 1)
+    return d, e
+
+
+def laplacian_1d(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """The 1-D Dirichlet Laplacian tridiagonal (known analytic spectrum:
+    ``2 - 2 cos(k pi / (n+1))``)."""
+    return 2.0 * np.ones(n), -np.ones(n - 1)
+
+
+def random_band(
+    n: int, b: int, seed: int | np.random.Generator | None = 0
+) -> np.ndarray:
+    """Dense symmetric matrix with exact bandwidth ``b``."""
+    rng = _rng(seed)
+    A = np.zeros((n, n))
+    for kdiag in range(b + 1):
+        vals = rng.standard_normal(n - kdiag)
+        idx = np.arange(n - kdiag)
+        A[idx + kdiag, idx] = vals
+        A[idx, idx + kdiag] = vals
+    return A

@@ -1,0 +1,138 @@
+"""Core algorithms: the paper's contribution and its numerical baselines."""
+
+from .back_transform import (
+    apply_sbr_q,
+    apply_sbr_q_transpose,
+    assemble_eigenvectors,
+    merge_blocks_grouped,
+    merge_blocks_recursive,
+    q_from_blocks,
+)
+from .bc_back_transform import (
+    BCWyBlock,
+    apply_q1_blocked,
+    blocked_bc_back_time,
+    blocked_q1_blocks,
+)
+from .bc_pipeline import PipelineStats, bulge_chase_pipelined, pipeline_schedule
+from .blocks import BandReductionResult, WYBlock
+from .bulge_chasing_band import WorkingBand, bulge_chase_band
+from .bulge_chasing import (
+    BCReflector,
+    BCTask,
+    BulgeChasingResult,
+    apply_bc_task,
+    bulge_chase,
+    num_tasks_in_sweep,
+    sweep_tasks,
+    task_window,
+)
+from .dbbr import dbbr
+from .direct_tridiag import DirectTridiagResult, direct_tridiagonalize
+from .evd import EVDResult, eigh, eigh_partial
+from .extensions import (
+    cholesky_lower,
+    eigh_generalized,
+    eigh_hermitian,
+    solve_triangular_lower,
+)
+from .householder import (
+    WYAccumulator,
+    accumulate_wy,
+    apply_householder_left,
+    apply_householder_right,
+    apply_householder_two_sided,
+    build_q_from_compact_wy,
+    build_q_from_wy,
+    larft,
+    make_householder,
+    merge_wy,
+)
+from .panel_qr import explicit_q, panel_qr, panel_qr_compact, panel_qr_wy
+from .sbr import sbr
+from .serialization import load_tridiag, save_tridiag
+from .svd import BidiagResult, bidiagonalize, golub_kahan_tridiagonal, svd
+from .tile_sbr import TileBandReductionResult, TileReflector, tile_sbr, tile_task_dag
+from .syr2k import (
+    Syr2kTask,
+    rect_schedule,
+    square_schedule,
+    symmetrize_lower,
+    syr2k_rect_blocked,
+    syr2k_reference,
+    syr2k_square_blocked,
+)
+from .tridiag import TridiagResult, auto_params, tridiagonalize
+
+__all__ = [
+    "BCWyBlock",
+    "BandReductionResult",
+    "BidiagResult",
+    "BCReflector",
+    "BCTask",
+    "BulgeChasingResult",
+    "DirectTridiagResult",
+    "EVDResult",
+    "PipelineStats",
+    "Syr2kTask",
+    "TileBandReductionResult",
+    "TileReflector",
+    "TridiagResult",
+    "WYAccumulator",
+    "WYBlock",
+    "accumulate_wy",
+    "apply_bc_task",
+    "apply_q1_blocked",
+    "apply_householder_left",
+    "apply_householder_right",
+    "apply_householder_two_sided",
+    "apply_sbr_q",
+    "apply_sbr_q_transpose",
+    "assemble_eigenvectors",
+    "auto_params",
+    "build_q_from_compact_wy",
+    "blocked_bc_back_time",
+    "blocked_q1_blocks",
+    "build_q_from_wy",
+    "bidiagonalize",
+    "bulge_chase",
+    "bulge_chase_band",
+    "bulge_chase_pipelined",
+    "cholesky_lower",
+    "dbbr",
+    "direct_tridiagonalize",
+    "eigh",
+    "eigh_generalized",
+    "eigh_hermitian",
+    "eigh_partial",
+    "explicit_q",
+    "golub_kahan_tridiagonal",
+    "larft",
+    "load_tridiag",
+    "make_householder",
+    "merge_blocks_grouped",
+    "merge_blocks_recursive",
+    "merge_wy",
+    "num_tasks_in_sweep",
+    "panel_qr",
+    "panel_qr_compact",
+    "panel_qr_wy",
+    "pipeline_schedule",
+    "q_from_blocks",
+    "rect_schedule",
+    "save_tridiag",
+    "sbr",
+    "solve_triangular_lower",
+    "square_schedule",
+    "svd",
+    "sweep_tasks",
+    "symmetrize_lower",
+    "syr2k_rect_blocked",
+    "syr2k_reference",
+    "syr2k_square_blocked",
+    "task_window",
+    "tile_sbr",
+    "tile_task_dag",
+    "tridiagonalize",
+    "WorkingBand",
+]

@@ -1,0 +1,153 @@
+"""Blocked bulge-chasing back transformation — the paper's future work.
+
+Section 6.2/8: applying the bulge-chasing reflectors to the eigenvector
+matrix ("the back transformation in BC") dominates the eigenvector path
+(61% of the proposed EVD) and is left as future work.  The inefficiency is
+structural: ``~n^2/(2b)`` rank-1 updates of length ``b``, each touching
+``n`` columns — pure BLAS2.
+
+This module implements the natural fix: **WY-block the reflectors**.
+Within one sweep, consecutive chase reflectors act on *disjoint* row
+windows (task ``t`` covers rows ``[c_t + b, c_t + 2b)`` and task ``t+1``
+starts exactly ``b`` rows later), so any run of ``g`` consecutive same-
+sweep reflectors accumulates into a single WY block spanning ``g*b`` rows
+— and the application becomes a pair of width-``g`` GEMMs.  Because the
+grouped reflectors are consecutive in the global application order, the
+grouping is *exactly* order-preserving: the result is bit-compatible with
+the scalar loop (asserted by the tests).
+
+``blocked_q1_blocks`` builds the block list once; ``apply_q1_blocked``
+replays it (forward = ``Q1^T``, reverse = ``Q1``).  The companion model
+``blocked_bc_back_time`` prices the scheme at device scale for the
+future-work benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gpusim.device import DeviceSpec
+from ..gpusim.roofline import sustained_gemm_tflops
+from .bulge_chasing import BCReflector, BulgeChasingResult
+from .householder import WYAccumulator
+
+__all__ = [
+    "BCWyBlock",
+    "blocked_q1_blocks",
+    "apply_q1_blocked",
+    "blocked_bc_back_time",
+]
+
+
+@dataclass
+class BCWyBlock:
+    """One WY-accumulated run of consecutive same-sweep reflectors.
+
+    ``Q_blk = I - W Y^T`` acting on global rows ``[offset, offset + rows)``.
+    """
+
+    W: np.ndarray
+    Y: np.ndarray
+    offset: int
+
+    @property
+    def width(self) -> int:
+        return self.W.shape[1]
+
+    @property
+    def rows(self) -> int:
+        return self.W.shape[0]
+
+
+def _runs(reflectors: list[BCReflector], group: int):
+    """Split the reflector log into runs of up to ``group`` consecutive
+    same-sweep chase steps.
+
+    The log is first re-sorted into sweep-major (sequential) order.  That
+    is a valid re-ordering even for logs recorded by the *pipelined*
+    chase: both are topological orders of the same task DAG, and any two
+    such orders differ only by swaps of data-disjoint — hence commuting —
+    reflectors, so the operator product is unchanged.
+    """
+    run: list[BCReflector] = []
+    for r in sorted(reflectors, key=lambda r: (r.sweep, r.step)):
+        if (
+            run
+            and (
+                r.sweep != run[-1].sweep
+                or r.step != run[-1].step + 1
+                or len(run) >= group
+            )
+        ):
+            yield run
+            run = []
+        run.append(r)
+    if run:
+        yield run
+
+
+def blocked_q1_blocks(
+    bc: BulgeChasingResult, group: int = 8
+) -> list[BCWyBlock]:
+    """Accumulate the reflector log into WY blocks of width <= ``group``.
+
+    The blocks, applied in list order, reproduce ``Q1^T``; applied in
+    reverse order they reproduce ``Q1``.
+    """
+    if group < 1:
+        raise ValueError("group must be >= 1")
+    blocks: list[BCWyBlock] = []
+    for run in _runs(bc.reflectors, group):
+        lo = min(r.offset for r in run)
+        hi = max(r.offset + r.v.size for r in run)
+        acc = WYAccumulator(hi - lo, capacity=len(run))
+        for r in run:
+            v = np.zeros(hi - lo, dtype=np.float64)
+            v[r.offset - lo : r.offset - lo + r.v.size] = r.v
+            acc.append(v, r.tau)
+        blocks.append(BCWyBlock(W=acc.W.copy(), Y=acc.Y.copy(), offset=lo))
+    return blocks
+
+
+def apply_q1_blocked(
+    blocks: list[BCWyBlock], X: np.ndarray, transpose: bool = False
+) -> None:
+    """In place ``X <- Q1 X`` (or ``Q1^T X``) through the WY blocks.
+
+    Each block is two GEMMs of inner width ``group`` instead of ``group``
+    rank-1 updates — the BLAS3 conversion the paper's future work asks for.
+    """
+    ordered = blocks if transpose else reversed(blocks)
+    for blk in ordered:
+        sub = X[blk.offset : blk.offset + blk.rows, :]
+        if transpose:
+            sub -= blk.Y @ (blk.W.T @ sub)
+        else:
+            sub -= blk.W @ (blk.Y.T @ sub)
+
+
+def blocked_bc_back_time(
+    device: DeviceSpec,
+    n: int,
+    b: int,
+    group: int = 8,
+    ncols: int | None = None,
+) -> float:
+    """Device-scale cost of the blocked BC back transformation.
+
+    Same ``~2 n^2 ncols`` useful flops as the scalar scheme (plus the
+    small WY-accumulation overhead), but executed as inner-dimension
+    ``group`` GEMMs over ``(group*b + b)``-row windows — rated by the
+    sustained-GEMM curve instead of the rank-1 (k = 1 .. b) rate.
+    """
+    m_cols = ncols if ncols is not None else n
+    width = group
+    rows = group * b + b
+    rate = sustained_gemm_tflops(device, rows, m_cols, width) * 1e12
+    useful = 2.0 * float(n) ** 2 * m_cols
+    # WY accumulation: ~2 rows * width^2 per block, n^2/(2 b group) blocks.
+    accum = 2.0 * rows * width * width * (float(n) ** 2 / (2.0 * b * max(group, 1)))
+    accum_rate = sustained_gemm_tflops(device, rows, width, width) * 1e12
+    return useful / rate + accum / max(accum_rate, 1.0)

@@ -1,0 +1,181 @@
+"""Pipelined multi-sweep bulge chasing — the GPU execution of Algorithm 2.
+
+On the GPU the paper launches one thread block per sweep; sweep ``i+1``
+spins on a volatile flag array until sweep ``i``'s working row is at least
+``2b`` rows ahead (``gCom[i] + 2b > gCom[i-1]`` → wait).  In task terms,
+sweep ``i``'s task ``t`` may execute once sweep ``i-1`` has completed task
+``t + 2`` — i.e. a sweep starts after its predecessor has chased its first
+**three** bulges (law ① of the Section 3.3 performance model).  Law ③ caps
+the number of in-flight sweeps at the hardware's capacity ``S``.
+
+This module executes that schedule **numerically**: tasks from up to ``S``
+sweeps are interleaved in lockstep *rounds* (one bulge per active sweep per
+round — a round is the "cycle" of the paper's performance model), using the
+same kernel as the sequential driver.  Because interleaving only reorders
+commuting (data-disjoint) tasks, the result is identical to sequential
+bulge chasing — which the test suite asserts — while the recorded schedule
+(rounds, occupancy, stalls) is what :mod:`repro.gpusim` prices and what the
+Figure 5 / Figure 12 benchmarks consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .bulge_chasing import (
+    BCReflector,
+    BCTask,
+    BulgeChasingResult,
+    apply_bc_task,
+    sweep_tasks,
+    task_window,
+)
+
+__all__ = ["PipelineStats", "pipeline_schedule", "bulge_chase_pipelined"]
+
+#: A sweep may start only after its predecessor chased this many bulges
+#: (law 1 in Section 3.3; the 2b spin-lock distance of Algorithm 2).
+SAFETY_TASKS = 3
+
+
+@dataclass
+class PipelineStats:
+    """Schedule statistics of one pipelined bulge-chasing run.
+
+    ``rounds``
+        Total lockstep rounds = the "total cycles" of the Section 3.3
+        model (each active sweep chases one bulge per round).
+    ``occupancy``
+        Number of tasks executed in each round (len == rounds).
+    ``stall_rounds``
+        Rounds in which at least one startable sweep was blocked by the
+        in-flight cap ``S`` (law 3).
+    ``task_rounds``
+        Mapping ``(sweep, step) -> round`` for trace/timing consumers.
+    """
+
+    rounds: int = 0
+    occupancy: list[int] = field(default_factory=list)
+    stall_rounds: int = 0
+    max_parallel: int = 0
+    total_tasks: int = 0
+    task_rounds: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    @property
+    def mean_parallel(self) -> float:
+        return self.total_tasks / self.rounds if self.rounds else 0.0
+
+
+def pipeline_schedule(
+    n: int, b: int, max_sweeps: int | None = None
+) -> tuple[list[list[BCTask]], PipelineStats]:
+    """Compute the round-by-round pipelined schedule (no numerics).
+
+    Parameters
+    ----------
+    n, b : int
+        Matrix size and bandwidth.
+    max_sweeps : int or None
+        The in-flight sweep cap ``S`` (None = unbounded, i.e. hardware big
+        enough for every sweep — the ``3n-2`` regime of the paper's model).
+
+    Returns
+    -------
+    (rounds, stats)
+        ``rounds[r]`` is the list of tasks executed in round ``r``; within
+        a round tasks are ordered by sweep (a valid topological order).
+    """
+    all_sweeps = [sweep_tasks(n, b, i) for i in range(max(n - 2, 0))]
+    all_sweeps = [s for s in all_sweeps if s]
+    nsweeps = len(all_sweeps)
+    ntasks = [len(s) for s in all_sweeps]
+    S = max_sweeps if max_sweeps is not None else nsweeps
+    if S < 1:
+        raise ValueError("max_sweeps must be >= 1")
+
+    completed = [0] * nsweeps  # tasks committed per sweep
+    started = [False] * nsweeps
+    rounds: list[list[BCTask]] = []
+    stats = PipelineStats(total_tasks=sum(ntasks))
+    done_tasks = 0
+
+    while done_tasks < stats.total_tasks:
+        snapshot = completed.copy()
+        in_flight = sum(
+            1 for i in range(nsweeps) if started[i] and snapshot[i] < ntasks[i]
+        )
+        this_round: list[BCTask] = []
+        stalled = False
+        for i in range(nsweeps):
+            t = snapshot[i]
+            if t >= ntasks[i]:
+                continue
+            # Dependency on the predecessor sweep (law 1 / gCom rule).
+            if i > 0:
+                prev_done = snapshot[i - 1]
+                if prev_done < ntasks[i - 1] and prev_done < t + SAFETY_TASKS:
+                    continue
+            # In-flight cap (law 3).
+            if not started[i]:
+                if in_flight >= S:
+                    stalled = True
+                    continue
+                started[i] = True
+                in_flight += 1
+            this_round.append(all_sweeps[i][t])
+            stats.task_rounds[(all_sweeps[i][t].sweep, t)] = len(rounds)
+            completed[i] += 1
+            done_tasks += 1
+        if not this_round:  # pragma: no cover - schedule is deadlock-free
+            raise RuntimeError("pipeline schedule deadlocked")
+        rounds.append(this_round)
+        stats.occupancy.append(len(this_round))
+        if stalled:
+            stats.stall_rounds += 1
+
+    stats.rounds = len(rounds)
+    stats.max_parallel = max(stats.occupancy, default=0)
+    return rounds, stats
+
+
+def bulge_chase_pipelined(
+    band: np.ndarray, b: int, max_sweeps: int | None = None
+) -> tuple[BulgeChasingResult, PipelineStats]:
+    """Numerically execute bulge chasing in the pipelined schedule.
+
+    Produces the same ``(d, e)`` and an equivalent reflector product as
+    :func:`repro.core.bulge_chasing.bulge_chase` (the interleaving only
+    swaps commuting tasks), plus the schedule statistics.
+    """
+    A = np.array(band, dtype=np.float64, copy=True)
+    n = A.shape[0]
+    if b < 1:
+        raise ValueError("bandwidth must be >= 1")
+    reflectors: list[BCReflector] = []
+    flops = 0.0
+    if b >= 2 and n >= 3:
+        rounds, stats = pipeline_schedule(n, b, max_sweeps)
+        seq = 0
+        for round_tasks in rounds:
+            for task in round_tasks:
+                off, v, tau = apply_bc_task(A, b, task)
+                reflectors.append(
+                    BCReflector(
+                        sweep=task.sweep,
+                        step=task.step,
+                        offset=off,
+                        v=v,
+                        tau=tau,
+                        seq=seq,
+                    )
+                )
+                lo, hi = task_window(task, n, b)
+                flops += 8.0 * task.length * (hi - lo)
+                seq += 1
+    else:
+        stats = PipelineStats()
+    d = np.diagonal(A).copy()
+    e = np.diagonal(A, -1).copy()
+    return BulgeChasingResult(d=d, e=e, reflectors=reflectors, flops=flops), stats

@@ -1,0 +1,225 @@
+"""Householder reflectors and their blocked (WY / compact-WY) accumulations.
+
+Everything in the two-stage tridiagonalization pipeline is built from
+Householder transformations.  This module provides the scalar reflector
+(`make_householder`), the three application kernels (left, right, symmetric
+two-sided), and the two standard block accumulations:
+
+* the **WY representation** ``H_1 H_2 ... H_k = I - W Y^T`` used by the paper
+  (Section 2.1), built with the forward recurrence
+  ``W_{k+1} = [W_k | tau (v - W_k Y_k^T v)]``;
+* the **compact WY representation** ``I - V T V^T`` (LAPACK ``larft``),
+  related to the former by ``W = V T`` when ``Y = V``.
+
+Conventions follow LAPACK: a reflector is ``H = I - tau v v^T`` with
+``v[0] == 1`` and ``H x = [beta, 0, ..., 0]^T``; ``tau == 0`` encodes the
+identity (already-annihilated columns, important for deflation-heavy
+matrices).  All kernels are vectorized NumPy and operate in FP64.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "make_householder",
+    "apply_householder_left",
+    "apply_householder_right",
+    "apply_householder_two_sided",
+    "WYAccumulator",
+    "accumulate_wy",
+    "merge_wy",
+    "larft",
+    "build_q_from_wy",
+    "build_q_from_compact_wy",
+]
+
+
+def make_householder(x: np.ndarray) -> tuple[np.ndarray, float, float]:
+    """Compute a Householder reflector annihilating ``x[1:]``.
+
+    Returns ``(v, tau, beta)`` such that ``(I - tau v v^T) x = beta e_1``
+    with ``v[0] == 1``.  Uses the sign convention ``beta = -sign(x[0])*||x||``
+    to avoid cancellation.  If ``x[1:]`` is already (numerically) zero, the
+    reflector is the identity: ``tau = 0`` and ``beta = x[0]``.
+
+    Parameters
+    ----------
+    x : ndarray, shape (m,)
+        The vector to reflect.  Not modified.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1 or x.size == 0:
+        raise ValueError("make_householder expects a non-empty 1-D array")
+    m = x.size
+    v = np.zeros(m, dtype=np.float64)
+    v[0] = 1.0
+    if m == 1:
+        return v, 0.0, float(x[0])
+    sigma = float(np.dot(x[1:], x[1:]))
+    alpha = float(x[0])
+    if sigma == 0.0:
+        return v, 0.0, alpha
+    beta = -np.copysign(np.sqrt(alpha * alpha + sigma), alpha)
+    v0 = alpha - beta
+    v[1:] = x[1:] / v0
+    tau = (beta - alpha) / beta
+    return v, float(tau), float(beta)
+
+
+def apply_householder_left(C: np.ndarray, v: np.ndarray, tau: float) -> None:
+    """In-place ``C <- (I - tau v v^T) C`` (a rank-1 BLAS2 update)."""
+    if tau == 0.0:
+        return
+    # w = tau * v^T C  (row vector); C -= outer(v, w)
+    w = tau * (v @ C)
+    C -= np.outer(v, w)
+
+
+def apply_householder_right(C: np.ndarray, v: np.ndarray, tau: float) -> None:
+    """In-place ``C <- C (I - tau v v^T)``."""
+    if tau == 0.0:
+        return
+    w = tau * (C @ v)
+    C -= np.outer(w, v)
+
+
+def apply_householder_two_sided(B: np.ndarray, v: np.ndarray, tau: float) -> None:
+    """In-place symmetric two-sided update ``B <- H B H`` for symmetric ``B``.
+
+    Uses the symmetric rank-2 form (LAPACK ``latrd``-style):
+
+        p = tau * B v
+        w = p - (tau/2) (p^T v) v
+        B <- B - v w^T - w v^T
+
+    which costs one symv + one syr2 instead of two full GEMMs, and keeps
+    ``B`` exactly symmetric in exact arithmetic.
+    """
+    if tau == 0.0:
+        return
+    p = tau * (B @ v)
+    w = p - (0.5 * tau * float(p @ v)) * v
+    B -= np.outer(v, w)
+    B -= np.outer(w, v)
+
+
+class WYAccumulator:
+    """Incrementally build ``H_1 ... H_k = I - W Y^T`` (paper Section 2.1).
+
+    ``append(v, tau)`` folds one reflector into the product using the
+    recurrence ``W <- [W | tau (v - W (Y^T v))]``, ``Y <- [Y | v]``.
+
+    Parameters
+    ----------
+    m : int
+        Length of the reflector vectors.
+    capacity : int, optional
+        Pre-allocated number of columns (grows automatically otherwise).
+    """
+
+    def __init__(self, m: int, capacity: int = 8):
+        self.m = int(m)
+        self._W = np.zeros((m, capacity), dtype=np.float64)
+        self._Y = np.zeros((m, capacity), dtype=np.float64)
+        self.k = 0
+
+    def _grow(self) -> None:
+        cap = self._W.shape[1]
+        newW = np.zeros((self.m, 2 * cap), dtype=np.float64)
+        newY = np.zeros((self.m, 2 * cap), dtype=np.float64)
+        newW[:, :cap] = self._W
+        newY[:, :cap] = self._Y
+        self._W, self._Y = newW, newY
+
+    def append(self, v: np.ndarray, tau: float) -> None:
+        """Fold reflector ``I - tau v v^T`` onto the right of the product."""
+        if v.shape != (self.m,):
+            raise ValueError(f"reflector length {v.shape} != accumulator size {self.m}")
+        if self.k == self._W.shape[1]:
+            self._grow()
+        k = self.k
+        if k == 0:
+            self._W[:, 0] = tau * v
+        else:
+            coeff = self._Y[:, :k].T @ v  # Y^T v
+            self._W[:, k] = tau * (v - self._W[:, :k] @ coeff)
+        self._Y[:, k] = v
+        self.k += 1
+
+    @property
+    def W(self) -> np.ndarray:
+        """The current ``W`` factor, shape ``(m, k)`` (a view)."""
+        return self._W[:, : self.k]
+
+    @property
+    def Y(self) -> np.ndarray:
+        """The current ``Y`` factor, shape ``(m, k)`` (a view)."""
+        return self._Y[:, : self.k]
+
+    def q(self) -> np.ndarray:
+        """Materialize the full orthogonal factor ``I - W Y^T``."""
+        return build_q_from_wy(self.W, self.Y)
+
+
+def accumulate_wy(V: np.ndarray, taus: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Accumulate reflectors ``(V, taus)`` into WY form ``(W, Y)``.
+
+    ``V`` holds the reflector vectors as columns (``v[0] == 1`` each), so
+    ``Y == V`` and ``W`` follows the forward recurrence.  Equivalent to
+    repeatedly calling :meth:`WYAccumulator.append` but returned as fresh
+    arrays.
+    """
+    V = np.asarray(V, dtype=np.float64)
+    m, k = V.shape
+    acc = WYAccumulator(m, capacity=max(k, 1))
+    for j in range(k):
+        acc.append(V[:, j], float(taus[j]))
+    return acc.W.copy(), acc.Y.copy()
+
+
+def merge_wy(
+    W1: np.ndarray, Y1: np.ndarray, W2: np.ndarray, Y2: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge two WY blocks: ``(I - W1 Y1^T)(I - W2 Y2^T) = I - W Y^T``.
+
+    This is the kernel of the paper's Algorithm 3 (recursive back
+    transformation):
+
+        W = [W1 | W2 - W1 (Y1^T W2)],   Y = [Y1 | Y2].
+    """
+    cross = Y1.T @ W2
+    W = np.hstack([W1, W2 - W1 @ cross])
+    Y = np.hstack([Y1, Y2])
+    return W, Y
+
+
+def larft(V: np.ndarray, taus: np.ndarray) -> np.ndarray:
+    """Form the compact-WY triangular factor ``T`` with ``Q = I - V T V^T``.
+
+    LAPACK ``larft`` forward/columnwise: ``T`` is ``k x k`` upper triangular,
+
+        T[:j, j] = -tau_j * T[:j, :j] @ (V[:, :j]^T V[:, j])
+        T[j, j]  = tau_j
+    """
+    V = np.asarray(V, dtype=np.float64)
+    k = V.shape[1]
+    T = np.zeros((k, k), dtype=np.float64)
+    for j in range(k):
+        tau = float(taus[j])
+        T[j, j] = tau
+        if j > 0 and tau != 0.0:
+            T[:j, j] = -tau * (T[:j, :j] @ (V[:, :j].T @ V[:, j]))
+    return T
+
+
+def build_q_from_wy(W: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    """Materialize ``Q = I - W Y^T`` (mostly for tests / small matrices)."""
+    m = W.shape[0]
+    return np.eye(m) - W @ Y.T
+
+
+def build_q_from_compact_wy(V: np.ndarray, T: np.ndarray) -> np.ndarray:
+    """Materialize ``Q = I - V T V^T`` from compact-WY factors."""
+    m = V.shape[0]
+    return np.eye(m) - V @ (T @ V.T)

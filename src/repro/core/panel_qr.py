@@ -1,0 +1,97 @@
+"""Panel QR factorization producing Householder factors for band reduction.
+
+Both SBR and DBBR start every step by QR-factorizing a tall, skinny *panel*
+(the red block in Figure 2 of the paper): ``QR(Panel) = (I - W Y^T) R``.
+The reflectors annihilate everything below the top ``b x b`` triangle of the
+panel, which is exactly what pushes the off-band entries of the symmetric
+matrix to zero.
+
+The routines here are unblocked within the panel (the panel is narrow, so
+this is the BLAS2-bounded part the paper accepts) and return the factors in
+whichever representation the caller wants:
+
+* :func:`panel_qr` — raw reflectors ``(V, taus, R)``;
+* :func:`panel_qr_wy` — paper-style ``(W, Y, R)`` with ``Q = I - W Y^T``;
+* :func:`panel_qr_compact` — LAPACK-style ``(V, T, R)`` with
+  ``Q = I - V T V^T``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .householder import accumulate_wy, larft, make_householder
+
+__all__ = ["panel_qr", "panel_qr_wy", "panel_qr_compact", "explicit_q"]
+
+
+def panel_qr(panel: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Householder QR of an ``m x b`` panel (``m >= b``).
+
+    Returns ``(V, taus, R)`` where ``V`` is ``m x b`` unit-lower-trapezoidal
+    (``V[j, j] == 1``, zeros above), ``taus`` has length ``b``, and ``R`` is
+    the ``b x b`` upper-triangular factor, such that
+
+        H_b ... H_2 H_1 @ panel = [R; 0],   H_j = I - tau_j v_j v_j^T.
+
+    Equivalently ``panel = (I - W Y^T) [R; 0]`` with ``(W, Y)`` from
+    :func:`repro.core.householder.accumulate_wy`.
+    """
+    A = np.array(panel, dtype=np.float64, copy=True)
+    m, b = A.shape
+    if m < b:
+        raise ValueError(f"panel must be tall: got {m} x {b}")
+    V = np.zeros((m, b), dtype=np.float64)
+    taus = np.zeros(b, dtype=np.float64)
+    for j in range(b):
+        v, tau, beta = make_householder(A[j:, j])
+        V[j:, j] = v
+        taus[j] = tau
+        A[j, j] = beta
+        A[j + 1 :, j] = 0.0
+        if tau != 0.0 and j + 1 < b:
+            # Apply H_j to the remaining columns of the panel.
+            C = A[j:, j + 1 :]
+            w = tau * (v @ C)
+            C -= np.outer(v, w)
+    R = np.triu(A[:b, :])
+    return V, taus, R
+
+
+def panel_qr_wy(panel: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Panel QR returning the paper's WY factors ``(W, Y, R)``.
+
+    ``panel == (I - W Y^T) @ vstack([R, 0])`` and ``I - W Y^T`` is orthogonal.
+    """
+    V, taus, R = panel_qr(panel)
+    W, Y = accumulate_wy(V, taus)
+    return W, Y, R
+
+
+def panel_qr_compact(panel: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Panel QR returning compact-WY factors ``(V, T, R)``.
+
+    ``Q = I - V T V^T``; note ``W = V @ T`` recovers the plain WY form.
+    """
+    V, taus, R = panel_qr(panel)
+    T = larft(V, taus)
+    return V, T, R
+
+
+def explicit_q(V: np.ndarray, taus: np.ndarray) -> np.ndarray:
+    """Materialize the full ``m x m`` orthogonal ``Q = H_1 H_2 ... H_b``.
+
+    Applies reflectors in reverse to the identity (LAPACK ``orgqr``-style);
+    intended for tests and small problems.
+    """
+    m, b = V.shape
+    Q = np.eye(m)
+    for j in range(b - 1, -1, -1):
+        tau = float(taus[j])
+        if tau == 0.0:
+            continue
+        v = V[j:, j]
+        C = Q[j:, :]
+        w = tau * (v @ C)
+        C -= np.outer(v, w)
+    return Q

@@ -1,0 +1,192 @@
+"""Save/load tridiagonalization results (NumPy ``.npz`` archives).
+
+A factorization ``A = Q T Q^T`` is expensive; downstream workflows often
+want to reuse the same ``Q`` (e.g. compute more eigenvector windows later
+with :func:`repro.core.evd.eigh_partial`-style back transforms).  This
+module round-trips a full :class:`~repro.core.tridiag.TridiagResult` —
+including the SBR WY blocks and the bulge-chasing reflector log — through
+a single compressed ``.npz`` file.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from .blocks import BandReductionResult, WYBlock
+from .bulge_chasing import BCReflector, BulgeChasingResult
+from .direct_tridiag import DirectTridiagResult
+from .tile_sbr import TileBandReductionResult, TileReflector
+from .tridiag import TridiagResult
+
+__all__ = ["save_tridiag", "load_tridiag"]
+
+_FORMAT_VERSION = 1
+
+
+def save_tridiag(path, result: TridiagResult) -> None:
+    """Serialize ``result`` to ``path`` (``.npz``, compressed)."""
+    data: dict[str, np.ndarray] = {
+        "format_version": np.array(_FORMAT_VERSION),
+        "d": result.d,
+        "e": result.e,
+        "method": np.array(result.method),
+        "bandwidth": np.array(result.bandwidth),
+        "bt_method": np.array(result.back_transform_method),
+        "bt_group": np.array(result.back_transform_group),
+    }
+    if result.band_result is not None:
+        br = result.band_result
+        data["band"] = br.band
+        data["band_flops"] = np.array(br.flops)
+        data["block_offsets"] = np.array([b.offset for b in br.blocks], dtype=np.int64)
+        data["block_widths"] = np.array([b.width for b in br.blocks], dtype=np.int64)
+        data["block_rows"] = np.array([b.rows for b in br.blocks], dtype=np.int64)
+        if br.blocks:
+            data["block_W"] = np.concatenate([b.W.ravel() for b in br.blocks])
+            data["block_Y"] = np.concatenate([b.Y.ravel() for b in br.blocks])
+    if result.bc_result is not None:
+        bc = result.bc_result
+        refl = sorted(bc.reflectors, key=lambda r: r.seq)
+        data["bc_flops"] = np.array(bc.flops)
+        data["refl_sweep"] = np.array([r.sweep for r in refl], dtype=np.int64)
+        data["refl_step"] = np.array([r.step for r in refl], dtype=np.int64)
+        data["refl_offset"] = np.array([r.offset for r in refl], dtype=np.int64)
+        data["refl_tau"] = np.array([r.tau for r in refl])
+        data["refl_len"] = np.array([r.v.size for r in refl], dtype=np.int64)
+        if refl:
+            data["refl_v"] = np.concatenate([r.v for r in refl])
+    if result.direct_result is not None:
+        dr = result.direct_result
+        data["direct_V"] = dr.V
+        data["direct_taus"] = dr.taus
+        data["direct_flops"] = np.array(dr.flops)
+        data["direct_blas2"] = np.array(dr.blas2_flops)
+    if result.tile_result is not None:
+        tr = result.tile_result
+        data["tile_band"] = tr.band
+        refl = tr.reflectors
+        data["tile_kinds"] = np.array([r.kind for r in refl])
+        data["tile_row_lens"] = np.array([r.rows.size for r in refl], dtype=np.int64)
+        data["tile_widths"] = np.array([r.W.shape[1] for r in refl], dtype=np.int64)
+        if refl:
+            data["tile_rows"] = np.concatenate([r.rows for r in refl])
+            data["tile_W"] = np.concatenate([r.W.ravel() for r in refl])
+            data["tile_Y"] = np.concatenate([r.Y.ravel() for r in refl])
+    np.savez_compressed(pathlib.Path(path), **data)
+
+
+def _load_blocks(z) -> list[WYBlock]:
+    offsets = z["block_offsets"]
+    widths = z["block_widths"]
+    rows = z["block_rows"]
+    blocks: list[WYBlock] = []
+    if offsets.size == 0:
+        return blocks
+    flat_w = z["block_W"]
+    flat_y = z["block_Y"]
+    pos = 0
+    for off, w, r in zip(offsets, widths, rows):
+        size = int(w) * int(r)
+        W = flat_w[pos : pos + size].reshape(int(r), int(w))
+        Y = flat_y[pos : pos + size].reshape(int(r), int(w))
+        blocks.append(WYBlock(W=W.copy(), Y=Y.copy(), offset=int(off)))
+        pos += size
+    return blocks
+
+
+def _load_reflectors(z) -> list[BCReflector]:
+    sweeps = z["refl_sweep"]
+    if sweeps.size == 0:
+        return []
+    steps = z["refl_step"]
+    offsets = z["refl_offset"]
+    taus = z["refl_tau"]
+    lens = z["refl_len"]
+    flat_v = z["refl_v"]
+    out: list[BCReflector] = []
+    pos = 0
+    for i in range(sweeps.size):
+        length = int(lens[i])
+        out.append(
+            BCReflector(
+                sweep=int(sweeps[i]),
+                step=int(steps[i]),
+                offset=int(offsets[i]),
+                v=flat_v[pos : pos + length].copy(),
+                tau=float(taus[i]),
+                seq=i,
+            )
+        )
+        pos += length
+    return out
+
+
+def load_tridiag(path) -> TridiagResult:
+    """Reconstruct a :class:`TridiagResult` saved by :func:`save_tridiag`."""
+    with np.load(pathlib.Path(path), allow_pickle=False) as z:
+        version = int(z["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported format version {version}")
+        d = z["d"]
+        e = z["e"]
+        method = str(z["method"])
+        bandwidth = int(z["bandwidth"])
+        band_result = None
+        bc_result = None
+        direct_result = None
+        if "band" in z:
+            band_result = BandReductionResult(
+                band=z["band"],
+                bandwidth=bandwidth,
+                blocks=_load_blocks(z),
+                flops=float(z["band_flops"]),
+            )
+        if "refl_sweep" in z:
+            bc_result = BulgeChasingResult(
+                d=d.copy(),
+                e=e.copy(),
+                reflectors=_load_reflectors(z),
+                flops=float(z["bc_flops"]),
+            )
+        if "direct_V" in z:
+            direct_result = DirectTridiagResult(
+                d=d.copy(),
+                e=e.copy(),
+                V=z["direct_V"],
+                taus=z["direct_taus"],
+                flops=float(z["direct_flops"]),
+                blas2_flops=float(z["direct_blas2"]),
+            )
+        tile_result = None
+        if "tile_band" in z:
+            refl = []
+            row_lens = z["tile_row_lens"]
+            widths = z["tile_widths"]
+            kinds = z["tile_kinds"]
+            rpos = wpos = 0
+            for i in range(row_lens.size):
+                rl, w = int(row_lens[i]), int(widths[i])
+                rows = z["tile_rows"][rpos : rpos + rl].copy()
+                size = rl * w
+                W = z["tile_W"][wpos : wpos + size].reshape(rl, w).copy()
+                Y = z["tile_Y"][wpos : wpos + size].reshape(rl, w).copy()
+                refl.append(TileReflector(rows=rows, W=W, Y=Y, kind=str(kinds[i])))
+                rpos += rl
+                wpos += size
+            tile_result = TileBandReductionResult(
+                band=z["tile_band"], bandwidth=bandwidth, reflectors=refl
+            )
+        return TridiagResult(
+            d=d.copy(),
+            e=e.copy(),
+            method=method,
+            bandwidth=bandwidth,
+            band_result=band_result,
+            tile_result=tile_result,
+            bc_result=bc_result,
+            direct_result=direct_result,
+            back_transform_method=str(z["bt_method"]),
+            back_transform_group=int(z["bt_group"]),
+        )

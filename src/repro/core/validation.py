@@ -1,0 +1,62 @@
+"""Input validation shared by the public entry points.
+
+Real-world matrices arrive slightly asymmetric (accumulated roundoff from
+whoever built them) or outright broken (NaN/Inf).  The drivers accept the
+former — the pipeline only reads the lower triangle anyway, and we
+symmetrize — but refuse quietly wrong inputs: non-finite entries, a
+non-square array, or asymmetry large enough that "the symmetric
+eigenproblem of A" is not a well-posed request.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["check_symmetric", "SymmetryError"]
+
+#: Relative asymmetry beyond which the input is rejected rather than
+#: symmetrized (||A - A^T|| / ||A||).
+DEFAULT_SYMMETRY_TOL = 1e-8
+
+
+class SymmetryError(ValueError):
+    """The input is too far from symmetric to treat as a symmetric
+    eigenproblem."""
+
+
+def check_symmetric(
+    A: np.ndarray,
+    tol: float = DEFAULT_SYMMETRY_TOL,
+    symmetrize: bool = True,
+) -> np.ndarray:
+    """Validate a symmetric-matrix input and return a clean FP64 copy.
+
+    Raises
+    ------
+    ValueError
+        Not 2-D square, or contains NaN/Inf.
+    SymmetryError
+        ``||A - A^T||_F > tol * ||A||_F``.
+
+    Returns
+    -------
+    ndarray
+        ``(A + A^T)/2`` as float64 (or ``A`` itself when already exactly
+        symmetric), never aliasing the input.
+    """
+    A = np.asarray(A)
+    if A.ndim != 2 or A.shape[0] != A.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {A.shape}")
+    A = np.array(A, dtype=np.float64, copy=True)
+    if not np.all(np.isfinite(A)):
+        raise ValueError("matrix contains NaN or Inf entries")
+    norm = np.linalg.norm(A)
+    asym = np.linalg.norm(A - A.T)
+    if asym > tol * max(norm, np.finfo(np.float64).tiny):
+        raise SymmetryError(
+            f"input is not symmetric: ||A - A^T||/||A|| = {asym / max(norm, 1e-300):.2e}"
+            f" exceeds tol = {tol:g}"
+        )
+    if asym > 0.0 and symmetrize:
+        A = (A + A.T) / 2.0
+    return A

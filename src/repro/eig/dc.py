@@ -1,0 +1,227 @@
+"""Cuppen's divide-and-conquer symmetric tridiagonal eigensolver.
+
+This is the from-scratch ``Dstedc`` substrate the paper integrates from
+MAGMA for the end-to-end EVD (Section 6.2).  The recursion tears the
+tridiagonal ``T`` into two halves plus a rank-one coupling,
+
+    T = diag(T1', T2') + rho v v^T,   rho = e_{m-1},  v = e_{m-1} + e_m,
+
+solves the halves, and merges them through the symmetric rank-one update
+``D + rho z z^T`` (``z = Q^T v``) using the secular machinery of
+:mod:`repro.eig.secular`, with the two standard deflation rules
+(negligible ``z_j``; Givens rotation of (near-)equal poles) from LAPACK's
+``dlaed2``.  Eigenvector merging is one big GEMM per level — the BLAS3
+shape that makes D&C the method of choice on GPUs.
+
+The eigenvalues-only path never forms eigenvectors: the recursion carries
+just the *first and last rows* of each subproblem's eigenvector matrix
+(all a merge needs to build ``z``), turning the ``O(n^3)`` vector cost
+into ``O(n^2)`` — mirroring the cheap `Dstedc`-eigenvalues-only mode whose
+time share Figure 4 reports at a few percent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .qr_iteration import tridiag_qr_eigh
+from .secular import refine_z, secular_eigenvectors, solve_all_roots
+
+__all__ = ["DCStats", "dc_eigh"]
+
+_EPS = np.finfo(np.float64).eps
+
+
+@dataclass
+class DCStats:
+    """Instrumentation of one divide-and-conquer run."""
+
+    merges: int = 0
+    deflated: int = 0
+    secular_size_total: int = 0
+    gemm_flops: float = 0.0
+    sizes: list[int] = field(default_factory=list)
+
+    @property
+    def deflation_fraction(self) -> float:
+        tot = self.deflated + self.secular_size_total
+        return self.deflated / tot if tot else 0.0
+
+
+def _rank_one_update(
+    D: np.ndarray,
+    z: np.ndarray,
+    rho: float,
+    Q: np.ndarray,
+    stats: DCStats,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Eigensystem of ``diag(D) + rho z z^T`` expressed through ``Q``.
+
+    ``Q`` holds *any* number of rows of the accumulated eigenvector basis
+    (full ``N`` rows in vector mode, 2 rows in eigenvalues-only mode); its
+    columns are transformed exactly like eigenvectors.  Returns
+    ``(lam ascending, Q_updated)``.
+    """
+    N = D.size
+    if rho < 0.0:
+        # eig(D + rho z z^T) = -rev(eig(-rev(D) + |rho| rev(z) rev(z)^T))
+        lam_r, Q_r = _rank_one_update(-D[::-1], z[::-1], -rho, Q[:, ::-1], stats)
+        return -lam_r[::-1], Q_r[:, ::-1]
+
+    znorm2 = float(z @ z)
+    if rho == 0.0 or znorm2 == 0.0:
+        order = np.argsort(D, kind="stable")
+        return D[order], Q[:, order]
+
+    order = np.argsort(D, kind="stable")
+    D = D[order].copy()
+    z = z[order].copy()
+    Q = Q[:, order].copy()
+
+    znorm = np.sqrt(znorm2)
+    norm_m = float(np.max(np.abs(D))) + rho * znorm2
+    tol_z = 4.0 * _EPS * norm_m / max(rho * znorm, np.finfo(np.float64).tiny)
+    tol_gap = 16.0 * _EPS * norm_m
+
+    deflated = np.abs(z) <= tol_z
+
+    # Givens deflation of (near-)equal poles among the survivors.
+    live = np.flatnonzero(~deflated)
+    prev = -1
+    for cur in live:
+        if prev >= 0 and D[cur] - D[prev] <= tol_gap:
+            r = np.hypot(z[prev], z[cur])
+            c = z[cur] / r
+            s = z[prev] / r
+            z[cur] = r
+            z[prev] = 0.0
+            # Rotate the 2x2 diagonal block; the off-diagonal it creates is
+            # |c s (D_prev - D_cur)| <= tol_gap / 2 and is dropped (that is
+            # the deflation error, bounded by the perturbation tolerance).
+            dp, dc_ = D[prev], D[cur]
+            D[prev] = c * c * dp + s * s * dc_
+            D[cur] = s * s * dp + c * c * dc_
+            qp = Q[:, prev].copy()
+            Q[:, prev] = c * qp - s * Q[:, cur]
+            Q[:, cur] = s * qp + c * Q[:, cur]
+            deflated[prev] = True
+        prev = cur
+
+    nd = np.flatnonzero(~deflated)
+    df = np.flatnonzero(deflated)
+    stats.deflated += df.size
+    stats.secular_size_total += nd.size
+
+    if nd.size == 0:
+        order = np.argsort(D, kind="stable")
+        return D[order], Q[:, order]
+
+    roots = solve_all_roots(D[nd], z[nd], rho)
+    lam_nd = roots.values
+    zhat = refine_z(roots, z[nd], rho)
+    S = secular_eigenvectors(roots, zhat)
+    Q_nd = Q[:, nd] @ S
+    stats.gemm_flops += 2.0 * Q.shape[0] * nd.size * nd.size
+
+    lam_all = np.concatenate([lam_nd, D[df]])
+    Q_all = np.concatenate([Q_nd, Q[:, df]], axis=1)
+    order = np.argsort(lam_all, kind="stable")
+    return lam_all[order], Q_all[:, order]
+
+
+def _block_diag_rows(
+    U1: np.ndarray, U2: np.ndarray, rows_only: bool
+) -> np.ndarray:
+    """The carried basis for a merge: full block diagonal in vector mode,
+    or just its first and last rows in eigenvalues-only mode."""
+    n1, k1 = U1.shape
+    n2, k2 = U2.shape
+    if rows_only:
+        Q = np.zeros((2, k1 + k2))
+        Q[0, :k1] = U1[0]
+        Q[1, k1:] = U2[-1]
+        return Q
+    Q = np.zeros((n1 + n2, k1 + k2))
+    Q[:n1, :k1] = U1
+    Q[n1:, k1:] = U2
+    return Q
+
+
+def _dc_recurse(
+    d: np.ndarray,
+    e: np.ndarray,
+    rows_only: bool,
+    base_size: int,
+    stats: DCStats,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Returns ``(lam, Q, z_top, z_bottom)`` where ``Q`` is the carried
+    basis (full or 2-row) and ``z_top``/``z_bottom`` are the first/last
+    rows of the true eigenvector matrix (needed to build ``z`` upstairs)."""
+    n = d.size
+    if n <= base_size:
+        lam, U = tridiag_qr_eigh(d, e, compute_vectors=True)
+        if rows_only:
+            Q = np.vstack([U[0], U[-1]])
+        else:
+            Q = U
+        return lam, Q, Q[0].copy(), Q[-1].copy()
+
+    m = n // 2
+    rho = float(e[m - 1])
+    d1 = d[:m].copy()
+    d2 = d[m:].copy()
+    d1[-1] -= rho
+    d2[0] -= rho
+    lam1, Q1, _, last1 = _dc_recurse(d1, e[: m - 1], rows_only, base_size, stats)
+    lam2, Q2, first2, _ = _dc_recurse(d2, e[m:], rows_only, base_size, stats)
+
+    D = np.concatenate([lam1, lam2])
+    z = np.concatenate([last1, first2])
+    Q = _block_diag_rows(Q1, Q2, rows_only)
+    stats.merges += 1
+    stats.sizes.append(n)
+    lam, Qout = _rank_one_update(D, z, rho, Q, stats)
+    return lam, Qout, Qout[0].copy(), Qout[-1].copy()
+
+
+def dc_eigh(
+    d: np.ndarray,
+    e: np.ndarray,
+    compute_vectors: bool = True,
+    base_size: int = 24,
+    return_stats: bool = False,
+):
+    """Eigendecomposition of ``tridiag(d, e)`` by divide and conquer.
+
+    Parameters
+    ----------
+    d, e : ndarray
+        Diagonal (length ``n``) and subdiagonal (length ``n-1``).
+    compute_vectors : bool
+        When false, only the first/last eigenvector rows are carried
+        through the recursion (``O(n^2)`` total).
+    base_size : int
+        Subproblems at or below this size use QL iteration directly.
+    return_stats : bool
+        Also return a :class:`DCStats` with merge/deflation counters.
+
+    Returns
+    -------
+    (lam, U[, stats])
+        Ascending eigenvalues; ``U`` is the eigenvector matrix or ``None``.
+    """
+    d = np.asarray(d, dtype=np.float64)
+    e = np.asarray(e, dtype=np.float64)
+    n = d.size
+    if e.size != max(n - 1, 0):
+        raise ValueError(f"e must have length n-1={n - 1}, got {e.size}")
+    if base_size < 3:
+        raise ValueError("base_size must be >= 3")
+    stats = DCStats()
+    lam, Q, _, _ = _dc_recurse(d, e, not compute_vectors, base_size, stats)
+    U = Q if compute_vectors else None
+    if return_stats:
+        return lam, U, stats
+    return lam, U

@@ -1,0 +1,103 @@
+"""Cyclic Jacobi eigensolver for dense symmetric matrices.
+
+The third classical iterative method the paper lists next to the QR
+algorithm and divide & conquer (Section 7.2).  Jacobi works on the dense
+matrix directly (no tridiagonalization), annihilating one off-diagonal
+entry per rotation in cyclic sweeps with the small-angle-stable rotation
+formulas; convergence is quadratic once the off-diagonal mass is small.
+
+Within this reproduction it serves as a fully independent, factorization-
+free EVD oracle (it never touches the Householder/tridiagonal machinery),
+and as the high-relative-accuracy option Jacobi is known for on graded
+positive-definite matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["jacobi_eigh"]
+
+_EPS = np.finfo(np.float64).eps
+
+
+def _off_norm(A: np.ndarray) -> float:
+    n = A.shape[0]
+    mask = ~np.eye(n, dtype=bool)
+    return float(np.sqrt(np.sum(A[mask] ** 2)))
+
+
+def jacobi_eigh(
+    A: np.ndarray,
+    compute_vectors: bool = True,
+    tol: float | None = None,
+    max_sweeps: int = 30,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Eigendecomposition of symmetric ``A`` by cyclic Jacobi rotations.
+
+    Parameters
+    ----------
+    A : (n, n) ndarray
+        Symmetric input (not modified).
+    compute_vectors : bool
+        Accumulate rotations into the eigenvector matrix.
+    tol : float, optional
+        Stop when the off-diagonal Frobenius norm falls below
+        ``tol * ||A||_F`` (default ``n * eps``).
+    max_sweeps : int
+        Maximum cyclic sweeps (quadratic convergence needs ~6-10).
+
+    Returns
+    -------
+    (lam, V)
+        Ascending eigenvalues and (optionally) orthonormal eigenvectors.
+    """
+    A = np.array(A, dtype=np.float64, copy=True)
+    n = A.shape[0]
+    if A.shape != (n, n):
+        raise ValueError("A must be square")
+    norm_a = max(np.linalg.norm(A), np.finfo(np.float64).tiny)
+    threshold = (tol if tol is not None else n * _EPS) * norm_a
+    V = np.eye(n) if compute_vectors else None
+
+    for _ in range(max_sweeps):
+        if _off_norm(A) <= threshold:
+            break
+        for p in range(n - 1):
+            for q in range(p + 1, n):
+                apq = A[p, q]
+                if abs(apq) <= _EPS * norm_a * 1e-2:
+                    continue
+                # Stable rotation (Golub & Van Loan, Alg. 8.4.1):
+                # theta = (a_qq - a_pp) / (2 a_pq), t = sign/(|theta|+sqrt(1+theta^2)).
+                theta = (A[q, q] - A[p, p]) / (2.0 * apq)
+                t = np.sign(theta) / (abs(theta) + np.hypot(1.0, theta))
+                if theta == 0.0:
+                    t = 1.0
+                c = 1.0 / np.hypot(1.0, t)
+                s = t * c
+                # Apply J(p, q, theta) from both sides.
+                row_p = A[p, :].copy()
+                row_q = A[q, :].copy()
+                A[p, :] = c * row_p - s * row_q
+                A[q, :] = s * row_p + c * row_q
+                col_p = A[:, p].copy()
+                col_q = A[:, q].copy()
+                A[:, p] = c * col_p - s * col_q
+                A[:, q] = s * col_p + c * col_q
+                A[p, q] = 0.0
+                A[q, p] = 0.0
+                if V is not None:
+                    vp = V[:, p].copy()
+                    V[:, p] = c * vp - s * V[:, q]
+                    V[:, q] = s * vp + c * V[:, q]
+    else:
+        if _off_norm(A) > threshold * 1e3:  # pragma: no cover - safety net
+            raise np.linalg.LinAlgError("Jacobi failed to converge")
+
+    lam = np.diagonal(A).copy()
+    order = np.argsort(lam, kind="stable")
+    lam = lam[order]
+    if V is not None:
+        V = V[:, order]
+    return lam, V

@@ -1,0 +1,227 @@
+"""Secular equation machinery for the divide-and-conquer eigensolver.
+
+A Cuppen merge step reduces to the symmetric rank-one eigenproblem
+
+    D + rho z z^T,   D = diag(d_1 < d_2 < ... < d_N),  rho > 0,
+
+whose eigenvalues are the roots of the *secular equation*
+
+    f(lam) = 1 + rho * sum_j z_j^2 / (d_j - lam) = 0,
+
+one root strictly inside each interval ``(d_i, d_{i+1})`` plus one beyond
+``d_N`` (interlacing).  This module provides:
+
+* :func:`solve_secular_root` — a guarded rational-Newton iteration for a
+  single root, returning the root as ``(anchor index, offset)`` so that
+  ``lam - d_j`` can later be formed without cancellation;
+* :func:`solve_all_roots` — all ``N`` roots;
+* :func:`refine_z` — the Gu–Eisenstat trick: recompute the rank-one vector
+  ``z_hat`` from the *computed* roots (Löwner's formula), which makes the
+  analytic eigenvector formula numerically orthogonal even for tightly
+  clustered eigenvalues;
+* :func:`secular_eigenvectors` — eigenvectors ``u_i propto z_hat_j /
+  (d_j - lam_i)`` built from the refined vector.
+
+``rho < 0`` is handled by the caller (:mod:`repro.eig.dc`) through the
+reflection ``eig(D + rho z z^T) = -rev(eig(-rev(D) + |rho| rev(z) rev(z)^T))``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "SecularRoots",
+    "solve_secular_root",
+    "solve_all_roots",
+    "refine_z",
+    "secular_eigenvectors",
+    "secular_f",
+]
+
+_EPS = np.finfo(np.float64).eps
+
+
+def secular_f(lam: float, d: np.ndarray, z2: np.ndarray, rho: float) -> float:
+    """Evaluate ``f(lam) = 1 + rho * sum z_j^2 / (d_j - lam)`` (diagnostics)."""
+    return 1.0 + rho * float(np.sum(z2 / (d - lam)))
+
+
+class SecularRoots:
+    """Roots stored as ``lam_i = d[anchor_i] + offset_i``.
+
+    Keeping the anchor/offset split lets downstream code compute
+    ``lam_i - d_j = (d[anchor_i] - d_j) + offset_i`` with one subtraction
+    of exact inputs plus one small correction — no catastrophic
+    cancellation next to a pole.
+    """
+
+    def __init__(self, d: np.ndarray, anchors: np.ndarray, offsets: np.ndarray):
+        self.d = d
+        self.anchors = anchors
+        self.offsets = offsets
+
+    @property
+    def values(self) -> np.ndarray:
+        """The eigenvalues ``lam`` (ascending)."""
+        return self.d[self.anchors] + self.offsets
+
+    def minus_d(self, j: int) -> np.ndarray:
+        """Vector ``lam_i - d_j`` for all roots ``i``, cancellation-free."""
+        return (self.d[self.anchors] - self.d[j]) + self.offsets
+
+    def gaps(self, i: int) -> np.ndarray:
+        """Vector ``d_j - lam_i`` for all ``j``, cancellation-free."""
+        return (self.d - self.d[self.anchors[i]]) - self.offsets[i]
+
+
+def _eval_psi_phi(
+    mu: float, delta: np.ndarray, z2: np.ndarray, split: int
+) -> tuple[float, float, float, float]:
+    """Evaluate the two halves of the secular sum at offset ``mu``.
+
+    ``delta = d - d_anchor``; poles below/at the anchor side go to ``psi``,
+    the rest to ``phi``.  Returns ``(psi, psi', phi, phi')``.
+    """
+    diff = delta - mu
+    terms = z2 / diff
+    dterms = terms / diff
+    psi = float(np.sum(terms[: split + 1]))
+    dpsi = float(np.sum(dterms[: split + 1]))
+    phi = float(np.sum(terms[split + 1 :]))
+    dphi = float(np.sum(dterms[split + 1 :]))
+    return psi, dpsi, phi, dphi
+
+
+def solve_secular_root(
+    d: np.ndarray,
+    z2: np.ndarray,
+    rho: float,
+    i: int,
+    max_iter: int = 256,
+) -> tuple[int, float]:
+    """Find root ``i`` of the secular equation (``rho > 0``).
+
+    Root ``i`` lies in ``(d_i, d_{i+1})`` for ``i < N-1`` and in
+    ``(d_{N-1}, d_{N-1} + rho ||z||^2)`` for ``i == N-1``.  The root is
+    anchored to whichever interval endpoint it is closer to (decided by the
+    sign of ``f`` at the midpoint) and found by a guarded Newton iteration
+    on the offset, with bisection fallback; convergence is to relative
+    machine precision of the offset.
+
+    Returns ``(anchor, mu)`` with ``lam = d[anchor] + mu``.
+    """
+    N = d.size
+    if not 0 <= i < N:
+        raise IndexError(f"root index {i} out of range 0..{N - 1}")
+    if rho <= 0:
+        raise ValueError("solve_secular_root requires rho > 0")
+
+    if i < N - 1:
+        left, right = d[i], d[i + 1]
+        mid = 0.5 * (left + right)
+        f_mid = 1.0 + rho * float(np.sum(z2 / (d - mid)))
+        # f increasing on the interval: root left of mid iff f(mid) > 0.
+        anchor = i if f_mid > 0 else i + 1
+    else:
+        left = d[N - 1]
+        right = d[N - 1] + rho * float(np.sum(z2))
+        anchor = N - 1
+
+    delta = d - d[anchor]
+    # Bracketing interval for the offset mu.
+    lo = left - d[anchor]
+    hi = right - d[anchor]
+    # Keep strictly inside the poles.
+    span = hi - lo
+    if span <= 0:
+        return anchor, 0.0
+    mu = 0.5 * (lo + hi)
+
+    for _ in range(max_iter):
+        diff = delta - mu
+        if np.any(diff == 0.0):
+            # Exactly on a pole (can only happen at bracket endpoints):
+            # nudge one ulp toward the interval interior and re-evaluate.
+            mu = np.nextafter(mu, 0.5 * (lo + hi))
+            diff = delta - mu
+            if np.any(diff == 0.0):  # pragma: no cover - degenerate poles
+                mu = np.nextafter(mu, 0.5 * (lo + hi))
+                diff = delta - mu
+        terms = z2 / diff
+        f = 1.0 / rho + float(np.sum(terms))
+        fp = float(np.sum(terms / diff))  # f' / rho, always > 0
+        # Backward-error floor: |f| already at the roundoff level of its
+        # own evaluation — iterating further is pure noise.
+        fscale = 1.0 / rho + float(np.sum(np.abs(terms)))
+        if abs(f) <= 2.0 * _EPS * fscale:
+            break
+        if f > 0:
+            hi = mu
+        else:
+            lo = mu
+        # Newton step on the monotone function.
+        step = -f / fp if fp > 0 else 0.0
+        mu_new = mu + step
+        if not (lo < mu_new < hi):
+            mu_new = 0.5 * (lo + hi)
+        if abs(mu_new - mu) <= _EPS * max(abs(mu_new), abs(mu)):
+            mu = mu_new
+            break
+        mu = mu_new
+    return anchor, float(mu)
+
+
+def solve_all_roots(d: np.ndarray, z: np.ndarray, rho: float) -> SecularRoots:
+    """All ``N`` secular roots for ``D + rho z z^T`` (``rho > 0``,
+    ``d`` strictly ascending, ``z`` fully non-deflated)."""
+    d = np.asarray(d, dtype=np.float64)
+    z2 = np.asarray(z, dtype=np.float64) ** 2
+    N = d.size
+    anchors = np.zeros(N, dtype=np.int64)
+    offsets = np.zeros(N, dtype=np.float64)
+    for i in range(N):
+        a, mu = solve_secular_root(d, z2, rho, i)
+        anchors[i] = a
+        offsets[i] = mu
+    return SecularRoots(d, anchors, offsets)
+
+
+def refine_z(roots: SecularRoots, z: np.ndarray, rho: float) -> np.ndarray:
+    """Gu–Eisenstat refinement: the rank-one vector consistent with the
+    *computed* roots.
+
+    By Löwner's formula, exact roots ``lam_i`` of ``D + rho z z^T`` satisfy
+
+        z_j^2 = prod_i (lam_i - d_j) / (rho * prod_{i != j} (d_i - d_j)).
+
+    Evaluating this with the computed roots yields ``z_hat`` such that the
+    computed roots are *exact* for ``D + rho z_hat z_hat^T``; eigenvectors
+    formed from ``z_hat`` are then orthogonal to machine precision.
+    Products are accumulated as paired ratios, each O(1) by interlacing.
+    """
+    d = roots.d
+    N = d.size
+    zhat = np.zeros(N, dtype=np.float64)
+    for j in range(N):
+        lam_minus_dj = roots.minus_d(j)  # lam_i - d_j for all i
+        val = lam_minus_dj[N - 1] / rho
+        for i in range(j):
+            val *= lam_minus_dj[i] / (d[i] - d[j])
+        for i in range(j, N - 1):
+            val *= lam_minus_dj[i] / (d[i + 1] - d[j])
+        # Roundoff can leave a tiny negative value for hard clusters.
+        zhat[j] = np.copysign(np.sqrt(abs(val)), z[j])
+    return zhat
+
+
+def secular_eigenvectors(roots: SecularRoots, zhat: np.ndarray) -> np.ndarray:
+    """Eigenvector matrix of ``D + rho z_hat z_hat^T`` from the analytic
+    formula ``u_i(j) = z_hat_j / (d_j - lam_i)``, columns normalized."""
+    N = zhat.size
+    U = np.zeros((N, N), dtype=np.float64)
+    for i in range(N):
+        denom = roots.gaps(i)  # d_j - lam_i, cancellation-free
+        U[:, i] = zhat / denom
+        U[:, i] /= np.linalg.norm(U[:, i])
+    return U

@@ -1,0 +1,208 @@
+"""Sturm-sequence bisection and inverse iteration for tridiagonal matrices.
+
+The Sturm count ``nu(x)`` — the number of eigenvalues of ``tridiag(d, e)``
+below ``x`` — comes from the signs of the leading-principal-minor
+recurrence ``q_i = (d_i - x) - e_{i-1}^2 / q_{i-1}``.  Bisection on the
+counts gives bracketed eigenvalues to any accuracy; inverse iteration with
+the shifted tridiagonal LU recovers eigenvectors.
+
+In this reproduction the module is the third, fully independent tridiagonal
+eigensolver (next to QL iteration and divide & conquer): the property tests
+require all three to agree, which is a strong correctness oracle that does
+not rely on SciPy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "sturm_count",
+    "eigvals_bisect",
+    "tridiag_solve_shifted",
+    "inverse_iteration",
+    "eigh_bisect",
+]
+
+_EPS = np.finfo(np.float64).eps
+
+
+def sturm_count(d: np.ndarray, e: np.ndarray, x: np.ndarray | float) -> np.ndarray:
+    """Number of eigenvalues of ``tridiag(d, e)`` strictly below each shift.
+
+    Vectorized over shifts: ``x`` may be a scalar or a 1-D array; returns
+    an integer array of the same shape.
+    """
+    x = np.atleast_1d(np.asarray(x, dtype=np.float64))
+    n = d.size
+    q = d[0] - x
+    count = (q < 0).astype(np.int64)
+    tiny = np.sqrt(np.finfo(np.float64).tiny)
+    for i in range(1, n):
+        q = np.where(np.abs(q) < tiny, -tiny, q)
+        q = (d[i] - x) - (e[i - 1] * e[i - 1]) / q
+        count += q < 0
+    return count
+
+
+def gershgorin_bounds(d: np.ndarray, e: np.ndarray) -> tuple[float, float]:
+    """An interval guaranteed to contain the whole spectrum."""
+    n = d.size
+    radius = np.zeros(n)
+    radius[:-1] += np.abs(e)
+    radius[1:] += np.abs(e)
+    return float(np.min(d - radius)), float(np.max(d + radius))
+
+
+def eigvals_bisect(
+    d: np.ndarray,
+    e: np.ndarray,
+    indices: np.ndarray | None = None,
+    rtol: float = 4.0 * _EPS,
+) -> np.ndarray:
+    """Eigenvalues by bisection on the Sturm count.
+
+    Parameters
+    ----------
+    d, e : ndarray
+        Tridiagonal data.
+    indices : ndarray or None
+        Which eigenvalues (0 = smallest); None = all.
+    rtol : float
+        Relative interval-width target.
+
+    Converges in ~60 vectorized rounds regardless of clustering.
+    """
+    d = np.asarray(d, dtype=np.float64)
+    e = np.asarray(e, dtype=np.float64)
+    n = d.size
+    if n == 1:
+        lam = d.copy()
+        return lam if indices is None else lam[np.asarray(indices)]
+    idx = np.arange(n) if indices is None else np.asarray(indices, dtype=np.int64)
+    lo_g, hi_g = gershgorin_bounds(d, e)
+    span = max(hi_g - lo_g, 1.0)
+    lo = np.full(idx.size, lo_g - _EPS * span)
+    hi = np.full(idx.size, hi_g + _EPS * span)
+    for _ in range(128):
+        mid = 0.5 * (lo + hi)
+        counts = sturm_count(d, e, mid)
+        below = counts <= idx  # eigenvalue idx is at or above mid
+        lo = np.where(below, mid, lo)
+        hi = np.where(below, hi, mid)
+        width = hi - lo
+        if np.all(width <= rtol * np.maximum(np.abs(lo) + np.abs(hi), 1.0)):
+            break
+    return 0.5 * (lo + hi)
+
+
+def tridiag_solve_shifted(
+    d: np.ndarray, e: np.ndarray, sigma: float, rhs: np.ndarray
+) -> np.ndarray:
+    """Solve ``(tridiag(d, e) - sigma I) x = rhs`` by LU with partial
+    pivoting (row swaps create a second superdiagonal, handled explicitly).
+
+    Near-singular pivots (inverse iteration's normal operating point) are
+    replaced by a tiny multiple of the matrix scale, as in LAPACK xSTEIN.
+    """
+    n = d.size
+    scale = max(float(np.max(np.abs(d))) if n else 0.0,
+                float(np.max(np.abs(e))) if n > 1 else 0.0, 1.0)
+    safe = _EPS * scale
+    # Band representation: main, first and second superdiagonal, and the
+    # subdiagonal multipliers from elimination.
+    a = d - sigma
+    main = a.copy()
+    sup1 = np.zeros(n)
+    sup1[: n - 1] = e
+    sup2 = np.zeros(n)
+    sub = np.zeros(n)  # sub[i] holds e_i below main[i] during elimination
+    sub[: n - 1] = e
+    x = np.array(rhs, dtype=np.float64, copy=True)
+
+    lower = np.zeros(n)  # multipliers
+    swapped = np.zeros(n, dtype=bool)
+    for i in range(n - 1):
+        if abs(sub[i]) > abs(main[i]):
+            # Swap rows i and i+1.
+            swapped[i] = True
+            main[i], sub[i] = sub[i], main[i]
+            sup1[i], main[i + 1] = main[i + 1], sup1[i]
+            if i + 2 < n:
+                sup2[i], sup1[i + 1] = sup1[i + 1], sup2[i]
+            x[i], x[i + 1] = x[i + 1], x[i]
+        piv = main[i] if abs(main[i]) > safe * _EPS else np.copysign(safe * _EPS, main[i] or 1.0)
+        main[i] = piv
+        m = sub[i] / piv
+        lower[i] = m
+        main[i + 1] -= m * sup1[i]
+        if i + 2 < n:
+            sup1[i + 1] -= m * sup2[i]
+        x[i + 1] -= m * x[i]
+    if abs(main[n - 1]) <= safe * _EPS:
+        main[n - 1] = np.copysign(safe * _EPS, main[n - 1] or 1.0)
+
+    # Back substitution.
+    x[n - 1] /= main[n - 1]
+    if n >= 2:
+        x[n - 2] = (x[n - 2] - sup1[n - 2] * x[n - 1]) / main[n - 2]
+    for i in range(n - 3, -1, -1):
+        x[i] = (x[i] - sup1[i] * x[i + 1] - sup2[i] * x[i + 2]) / main[i]
+    return x
+
+
+def inverse_iteration(
+    d: np.ndarray,
+    e: np.ndarray,
+    lam: float,
+    against: list[np.ndarray] | None = None,
+    iters: int = 4,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """One eigenvector of ``tridiag(d, e)`` for (approximate) eigenvalue
+    ``lam``, orthogonalized against ``against`` (cluster neighbours)."""
+    n = d.size
+    rng = rng if rng is not None else np.random.default_rng(12345)
+    v = rng.standard_normal(n)
+    v /= np.linalg.norm(v)
+    for _ in range(iters):
+        v = tridiag_solve_shifted(d, e, lam, v)
+        if against:
+            for u in against:
+                v -= (u @ v) * u
+        nv = np.linalg.norm(v)
+        if nv == 0.0:  # pragma: no cover - pathological restart
+            v = rng.standard_normal(n)
+            nv = np.linalg.norm(v)
+        v /= nv
+    return v
+
+
+def eigh_bisect(
+    d: np.ndarray, e: np.ndarray, compute_vectors: bool = True
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Full eigendecomposition by bisection + inverse iteration.
+
+    Eigenvectors of clustered eigenvalues are mutually orthogonalized;
+    eigenvalues closer than ``1e-3 * ||T||`` are grouped into one cluster
+    (the LAPACK ``xSTEIN`` ORTOL criterion).
+    """
+    d = np.asarray(d, dtype=np.float64)
+    e = np.asarray(e, dtype=np.float64)
+    n = d.size
+    lam = eigvals_bisect(d, e)
+    if not compute_vectors:
+        return lam, None
+    U = np.zeros((n, n))
+    scale = max(float(np.max(np.abs(lam))), 1.0)
+    cluster: list[np.ndarray] = []
+    for i in range(n):
+        if i > 0 and lam[i] - lam[i - 1] <= 1e-3 * scale:
+            against = cluster
+        else:
+            cluster = []
+            against = None
+        v = inverse_iteration(d, e, float(lam[i]), against=against)
+        U[:, i] = v
+        cluster.append(v)
+    return lam, U

@@ -1,0 +1,176 @@
+"""Device specifications for the performance simulator.
+
+The paper evaluates on two GPUs that sit at opposite ends of the FP64
+roofline:
+
+* **H100-SXM** — 67 TFLOPs FP64 peak, ~3.35 TB/s HBM3: the ridge point is
+  at ~20 flops/byte, so a ``syr2k`` with inner dimension ``k = 64`` (the
+  classic SBR bandwidth) is far below peak (Table 1 column 2);
+* **RTX 4090** — 1.29 TFLOPs FP64 (1/64-rate units), ~1.0 TB/s: FP64 is so
+  slow that even ``k = 16`` is compute-bound, which is why classic SBR "is
+  efficient on older GPU architectures but not on emerging GPUs"
+  (Section 3.2).
+
+Each spec also carries *calibration* constants for the sustained-GEMM
+model (see :mod:`repro.gpusim.roofline`): ``gemm_peak_tflops`` (the
+asymptotic sustained rate, below the theoretical peak) and
+``gemm_k_half`` (the inner dimension at which half of that rate is
+reached), fitted to the paper's Table 1; plus per-call overheads and the
+observed cuBLAS large-``n`` ``syr2k`` cliff (Figure 8).
+
+A CPU spec models the host that runs MAGMA's ``sb2st`` (the paper uses 8
+MKL threads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["DeviceSpec", "CPUSpec", "H100", "RTX4090", "CPU_8_CORE", "device_by_name"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A GPU for the performance model.
+
+    Attributes
+    ----------
+    name : str
+        Display name.
+    sm_count : int
+        Streaming multiprocessors (pipeline slots for bulge chasing).
+    fp64_tflops : float
+        Theoretical FP64 peak (TFLOPs).
+    mem_bw_gbs : float
+        HBM bandwidth (GB/s).
+    l2_mb : float
+        L2 cache capacity (MB) — 50 MB on H100, the Figure 10 budget.
+    l2_bw_gbs : float
+        *Achievable* aggregate L2 bandwidth under the bulge-chasing access
+        pattern (GB/s) — well below the theoretical L2 peak; calibrated to
+        the Figure 11/12 anchors.
+    gemm_peak_tflops : float
+        Sustained large-``k`` FP64 GEMM/syr2k rate (< theoretical peak).
+    gemm_k_half : float
+        Inner dimension at which the sustained rate is half of
+        ``gemm_peak_tflops`` (the skinny-GEMM penalty knob).
+    kernel_overhead_us : float
+        Per-kernel launch/tail overhead (microseconds).
+    blas_call_overhead_ms : float
+        Per-BLAS-call setup/underutilization cost at the ``n = 8192``
+        reference size (Table 1's small column); shrinks as ``(8192/n)^2``
+        for larger problems, where the device is fully occupied.
+    cublas_syr2k_cliff_n : int
+        Matrix size beyond which cuBLAS ``syr2k`` degrades (Figure 8).
+    cublas_syr2k_cliff_factor : float
+        Multiplicative rate loss beyond the cliff.
+    syr2k_square_peak_tflops : float
+        Sustained rate of the paper's square-block syr2k (Figure 7/8).
+    """
+
+    name: str
+    sm_count: int
+    fp64_tflops: float
+    mem_bw_gbs: float
+    l2_mb: float
+    l2_bw_gbs: float
+    gemm_peak_tflops: float
+    gemm_k_half: float
+    kernel_overhead_us: float = 5.0
+    blas_call_overhead_ms: float = 0.5
+    cublas_syr2k_cliff_n: int = 1 << 62
+    cublas_syr2k_cliff_factor: float = 1.0
+    syr2k_square_peak_tflops: float = 0.0
+
+    def with_(self, **kwargs) -> "DeviceSpec":
+        """A modified copy (for what-if studies in the ablation benches)."""
+        return replace(self, **kwargs)
+
+    @property
+    def ridge_flops_per_byte(self) -> float:
+        """Roofline ridge point (flops/byte) at theoretical peak."""
+        return self.fp64_tflops * 1e12 / (self.mem_bw_gbs * 1e9)
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """The multicore host running MAGMA's CPU-side bulge chasing.
+
+    A bulge task streams its ``~96 b^2``-byte window at ``cache_bw_gbs``
+    per core while the packed band fits in the last-level cache;
+    ``dram_penalty`` applies once the working set exceeds ``llc_mb`` (the
+    b=64 -> b=128 cliff of Section 3.2: 23.9 s -> 84.9 s at n = 49152).
+    ``task_overhead_us`` is the per-task scheduling/sync cost.
+    """
+
+    name: str
+    threads: int
+    llc_mb: float
+    cache_bw_gbs: float
+    task_overhead_us: float
+    dram_penalty: float
+
+
+# --- Calibrated presets ---------------------------------------------------
+
+#: NVIDIA H100-SXM (Hopper).  GEMM constants fitted to Table 1 (n = 32768
+#: column: k=128 -> 21, k=512 -> 38, k=4096 -> 45.5 TFLOPs) and the per-call
+#: overhead to the n = 8192 column.
+H100 = DeviceSpec(
+    name="H100-SXM",
+    sm_count=132,
+    fp64_tflops=67.0,
+    mem_bw_gbs=3350.0,
+    l2_mb=50.0,
+    l2_bw_gbs=6200.0,
+    gemm_peak_tflops=48.0,
+    gemm_k_half=160.0,
+    kernel_overhead_us=4.0,
+    blas_call_overhead_ms=4.2,
+    cublas_syr2k_cliff_n=49152,
+    cublas_syr2k_cliff_factor=0.35,
+    syr2k_square_peak_tflops=55.0,
+)
+
+#: NVIDIA RTX 4090 (Ada).  FP64 units are 1/64-rate, so ``gemm_k_half`` is
+#: tiny: every k in Table 1 already saturates (1.06-1.25 TFLOPs measured).
+RTX4090 = DeviceSpec(
+    name="RTX 4090",
+    sm_count=128,
+    fp64_tflops=1.29,
+    mem_bw_gbs=1008.0,
+    l2_mb=72.0,
+    l2_bw_gbs=2080.0,
+    gemm_peak_tflops=1.25,
+    gemm_k_half=2.0,
+    kernel_overhead_us=4.0,
+    blas_call_overhead_ms=0.8,
+    cublas_syr2k_cliff_n=1 << 62,
+    cublas_syr2k_cliff_factor=1.0,
+    # INT8-tensor-core assisted DGEMM (Ootomo et al.) lets the proposed
+    # syr2k slightly exceed the native FP64 peak (Section 6.1).
+    syr2k_square_peak_tflops=1.45,
+)
+
+#: The paper's MAGMA host configuration: 8 MKL threads.  Calibrated so
+#: MAGMA sb2st at n = 49152 costs ~16.2 / 23.9 / 84.9 s for b = 32/64/128
+#: (Section 3.2) — the b = 128 blow-up comes from the LLC cliff.
+CPU_8_CORE = CPUSpec(
+    name="8-thread MKL host",
+    threads=8,
+    llc_mb=33.0,
+    cache_bw_gbs=44.3,
+    task_overhead_us=1.2,
+    dram_penalty=2.0,
+)
+
+_REGISTRY = {"h100": H100, "rtx4090": RTX4090, "4090": RTX4090}
+
+
+def device_by_name(name: str) -> DeviceSpec:
+    """Look up a preset device (case/punctuation-insensitive)."""
+    key = name.lower().replace("-", "").replace("_", "").replace(" ", "")
+    for k, v in _REGISTRY.items():
+        if k in key or key in k:
+            return v
+    raise KeyError(f"unknown device {name!r}; presets: {sorted(_REGISTRY)}")

@@ -1,0 +1,66 @@
+"""Trace/timeline utilities over simulated bulge-chasing runs.
+
+Turns a :class:`repro.gpusim.executor.BCSimResult` into the quantities the
+paper reports from Nsight Compute: an achieved-throughput timeline
+(Figure 12's metric over time), pipeline utilization, and a text Gantt
+rendering for the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .executor import BCSimResult
+
+__all__ = ["ThroughputTimeline", "throughput_timeline", "utilization", "ascii_gantt"]
+
+
+@dataclass
+class ThroughputTimeline:
+    """Sampled achieved memory throughput over a run."""
+
+    times_s: np.ndarray
+    gbs: np.ndarray
+
+    @property
+    def peak_gbs(self) -> float:
+        return float(np.max(self.gbs)) if self.gbs.size else 0.0
+
+    @property
+    def mean_gbs(self) -> float:
+        return float(np.mean(self.gbs)) if self.gbs.size else 0.0
+
+
+def throughput_timeline(result: BCSimResult, samples: int = 256) -> ThroughputTimeline:
+    """Instantaneous throughput = active sweeps x (bytes/task / task time)."""
+    ts, active = result.concurrency_profile(samples)
+    if result.task_time_s <= 0:
+        return ThroughputTimeline(ts, np.zeros_like(ts))
+    per_sweep = result.bytes_per_task / result.task_time_s
+    return ThroughputTimeline(ts, active * per_sweep / 1e9)
+
+
+def utilization(result: BCSimResult) -> float:
+    """Fraction of slot-time spent doing useful work: total task time over
+    ``S x makespan``."""
+    if result.total_time_s <= 0 or result.max_sweeps <= 0:
+        return 0.0
+    busy = result.total_tasks * result.task_time_s
+    return busy / (result.max_sweeps * result.total_time_s)
+
+
+def ascii_gantt(result: BCSimResult, width: int = 72, max_rows: int = 24) -> str:
+    """A text Gantt chart of sweep lifetimes (for the examples/docs)."""
+    n = result.sweep_start.size
+    if n == 0 or result.total_time_s <= 0:
+        return "(empty schedule)"
+    step = max(1, -(-n // max_rows))  # ceil division keeps rows <= max_rows
+    scale = width / result.total_time_s
+    lines = []
+    for i in range(0, n, step):
+        s = int(result.sweep_start[i] * scale)
+        e = max(int(result.sweep_end[i] * scale), s + 1)
+        lines.append(f"sweep {i:6d} |{' ' * s}{'#' * (e - s)}")
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Analytical performance models: flop counts, the Section 3.3 bulge-
+chasing pipeline model, syr2k rate series (Table 1 / Figure 8), and the
+composed baseline (cuSOLVER/MAGMA) and proposed-method time models that
+regenerate the paper's figures at device scale."""
+
+from . import flops
+from .baselines import (
+    StageTimes,
+    bc_back_transform_time,
+    cusolver_stedc_time,
+    cusolver_syevd_times,
+    cusolver_sytrd_time,
+    magma_evd_times,
+    magma_ormqr_sbr_time,
+    magma_sb2st_time,
+    magma_stedc_time,
+    magma_sy2sb_time,
+    magma_tridiag_times,
+)
+from .bc_model import (
+    bc_time_model,
+    figure5_series,
+    model_vs_executor,
+    stall_cycles,
+    successive_bulge_cycles,
+    total_cycles,
+)
+from .proposed import (
+    dbbr_time,
+    gpu_bc_time,
+    proposed_back_transform_time,
+    proposed_evd_times,
+    proposed_tridiag_times,
+)
+from .crossover import crossover_n, evd_novec_vs_cusolver, magma_vs_cusolver_tridiag
+from .figures import FigureData, FigureSeries, figure_registry, make_figure
+from .sensitivity import (
+    HeadlineMetrics,
+    conclusions_hold,
+    headline_metrics,
+    sweep_device_parameter,
+)
+from .syr2k_model import PAPER_TABLE1, Table1Row, figure8_series, table1_rows
+
+__all__ = [
+    "FigureData",
+    "FigureSeries",
+    "HeadlineMetrics",
+    "PAPER_TABLE1",
+    "StageTimes",
+    "Table1Row",
+    "bc_back_transform_time",
+    "bc_time_model",
+    "cusolver_stedc_time",
+    "cusolver_syevd_times",
+    "cusolver_sytrd_time",
+    "dbbr_time",
+    "evd_novec_vs_cusolver",
+    "conclusions_hold",
+    "crossover_n",
+    "figure5_series",
+    "figure8_series",
+    "figure_registry",
+    "headline_metrics",
+    "make_figure",
+    "flops",
+    "gpu_bc_time",
+    "magma_evd_times",
+    "magma_ormqr_sbr_time",
+    "magma_sb2st_time",
+    "magma_stedc_time",
+    "magma_sy2sb_time",
+    "magma_tridiag_times",
+    "magma_vs_cusolver_tridiag",
+    "model_vs_executor",
+    "proposed_back_transform_time",
+    "proposed_evd_times",
+    "proposed_tridiag_times",
+    "stall_cycles",
+    "successive_bulge_cycles",
+    "sweep_device_parameter",
+    "table1_rows",
+    "total_cycles",
+]

@@ -1,0 +1,81 @@
+"""Crossover analysis: at which matrix size does one method overtake
+another?
+
+The paper's Figures 15/16 embed several crossovers — MAGMA passes
+cuSOLVER only at large ``n``; for eigenvalues-only EVD, cuSOLVER's fast
+``Dstedc`` keeps it ahead below ``n ~ 8192``.  This module locates such
+crossovers in the composed time models by bisection on ``n``, so the
+claims become checkable numbers instead of eyeballed plot intersections.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..gpusim.device import DeviceSpec, H100
+from .baselines import (
+    cusolver_syevd_times,
+    cusolver_sytrd_time,
+    magma_tridiag_times,
+)
+from .proposed import proposed_evd_times
+
+__all__ = ["crossover_n", "magma_vs_cusolver_tridiag", "evd_novec_vs_cusolver"]
+
+
+def crossover_n(
+    time_a: Callable[[int], float],
+    time_b: Callable[[int], float],
+    lo: int = 1024,
+    hi: int = 131072,
+    resolution: int = 256,
+) -> int | None:
+    """Smallest ``n`` in ``[lo, hi]`` (rounded to ``resolution``) where
+    ``time_a(n) <= time_b(n)``, assuming a single sign change.
+
+    Returns None if A never catches B on the interval (and raises no
+    pretence of one if A already wins at ``lo`` — then ``lo`` is
+    returned).
+    """
+    if resolution < 1:
+        raise ValueError("resolution must be >= 1")
+
+    def a_wins(n: int) -> bool:
+        return time_a(n) <= time_b(n)
+
+    lo_r = max(resolution, (lo // resolution) * resolution)
+    hi_r = (hi // resolution) * resolution
+    if a_wins(lo_r):
+        return lo_r
+    if not a_wins(hi_r):
+        return None
+    # Bisect the sign change.
+    while hi_r - lo_r > resolution:
+        mid = ((lo_r + hi_r) // 2 // resolution) * resolution
+        if mid in (lo_r, hi_r):
+            break
+        if a_wins(mid):
+            hi_r = mid
+        else:
+            lo_r = mid
+    return hi_r
+
+
+def magma_vs_cusolver_tridiag(device: DeviceSpec = H100) -> int | None:
+    """The Figure 15a crossover: where MAGMA's 2-stage tridiagonalization
+    starts beating cuSOLVER's direct one ("superior performance only for
+    large matrices")."""
+    return crossover_n(
+        lambda n: magma_tridiag_times(device, n, 64).total,
+        lambda n: cusolver_sytrd_time(device, n),
+    )
+
+
+def evd_novec_vs_cusolver(device: DeviceSpec = H100) -> int | None:
+    """The Figure 16 crossover: where the proposed eigenvalues-only EVD
+    overtakes cuSOLVER despite MAGMA's slow Dstedc (paper: below ~8192
+    cuSOLVER wins)."""
+    return crossover_n(
+        lambda n: proposed_evd_times(device, n, False).total,
+        lambda n: cusolver_syevd_times(device, n, False).total,
+    )

@@ -1,0 +1,141 @@
+"""Sensitivity analysis: do the paper's conclusions survive calibration error?
+
+The simulator's constants (docs/simulator.md) are fitted to the paper's
+published anchors, which themselves carry measurement noise.  A
+reproduction should therefore report not just point values but whether
+the paper's *ordinal* claims — who wins, where the crossovers sit — are
+robust to perturbing the calibration.
+
+:func:`headline_metrics` evaluates the paper's headline quantities for an
+arbitrary device spec; :func:`sweep_device_parameter` perturbs one spec
+field over a multiplicative range and re-evaluates; and
+:func:`conclusions_hold` distills the results into the boolean claims the
+test suite asserts under ±25% perturbation of every fitted constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpusim.device import CPU_8_CORE, DeviceSpec, H100
+from . import flops as F
+from .baselines import (
+    cusolver_syevd_times,
+    cusolver_sytrd_time,
+    magma_evd_times,
+    magma_sb2st_time,
+    magma_tridiag_times,
+)
+from .proposed import gpu_bc_time, proposed_evd_times, proposed_tridiag_times
+
+__all__ = [
+    "HeadlineMetrics",
+    "headline_metrics",
+    "sweep_device_parameter",
+    "conclusions_hold",
+]
+
+
+@dataclass
+class HeadlineMetrics:
+    """The paper's headline quantities at one (device, n) point."""
+
+    n: int
+    tridiag_tflops: float
+    speedup_vs_cusolver: float
+    speedup_vs_magma: float
+    bc_speedup_optimized: float
+    evd_novec_speedup: float
+    evd_vec_speedup: float
+
+    def conclusions(self) -> dict[str, bool]:
+        """The ordinal claims of the abstract, as booleans."""
+        return {
+            "tridiag_faster_than_cusolver": self.speedup_vs_cusolver > 1.0,
+            "tridiag_faster_than_magma": self.speedup_vs_magma > 1.0,
+            "tridiag_multix_speedup": self.speedup_vs_cusolver > 3.0,
+            "gpu_bc_beats_magma": self.bc_speedup_optimized > 1.0,
+            "gpu_bc_multix": self.bc_speedup_optimized > 4.0,
+            "evd_novec_wins": self.evd_novec_speedup > 1.0,
+            "evd_vec_at_least_parity": self.evd_vec_speedup > 0.9,
+        }
+
+
+def headline_metrics(
+    device: DeviceSpec = H100,
+    n: int = 49152,
+    b: int = 32,
+    k: int = 1024,
+) -> HeadlineMetrics:
+    """Evaluate the headline quantities for ``device`` at size ``n``."""
+    ours_tri = proposed_tridiag_times(device, n, b, k).total
+    cu_tri = cusolver_sytrd_time(device, n)
+    ma_tri = magma_tridiag_times(device, n, 64).total
+    magma_bc = magma_sb2st_time(CPU_8_CORE, n, b)
+    ours_bc = gpu_bc_time(device, n, b, optimized=True)
+    cu_novec = cusolver_syevd_times(device, n, False).total
+    ours_novec = proposed_evd_times(device, n, False).total
+    cu_vec = cusolver_syevd_times(device, n, True).total
+    ours_vec = proposed_evd_times(device, n, True).total
+    return HeadlineMetrics(
+        n=n,
+        tridiag_tflops=F.tridiag_flops(n) / ours_tri / 1e12,
+        speedup_vs_cusolver=cu_tri / ours_tri,
+        speedup_vs_magma=ma_tri / ours_tri,
+        bc_speedup_optimized=magma_bc / ours_bc,
+        evd_novec_speedup=cu_novec / ours_novec,
+        evd_vec_speedup=cu_vec / ours_vec,
+    )
+
+
+#: Device fields it makes sense to perturb (the fitted ones).
+PERTURBABLE_FIELDS = (
+    "gemm_peak_tflops",
+    "gemm_k_half",
+    "mem_bw_gbs",
+    "l2_bw_gbs",
+    "syr2k_square_peak_tflops",
+    "blas_call_overhead_ms",
+)
+
+
+def sweep_device_parameter(
+    field: str,
+    factors: tuple[float, ...] = (0.75, 0.9, 1.0, 1.1, 1.25),
+    device: DeviceSpec = H100,
+    n: int = 49152,
+) -> list[tuple[float, HeadlineMetrics]]:
+    """Re-evaluate the headlines with ``field`` scaled by each factor."""
+    if field not in PERTURBABLE_FIELDS:
+        raise KeyError(
+            f"{field!r} is not a perturbable field; options: {PERTURBABLE_FIELDS}"
+        )
+    out = []
+    base = getattr(device, field)
+    for f in factors:
+        dev = device.with_(**{field: base * f})
+        out.append((f, headline_metrics(dev, n)))
+    return out
+
+
+def conclusions_hold(
+    factor: float = 0.75,
+    device: DeviceSpec = H100,
+    n: int = 49152,
+) -> dict[str, bool]:
+    """AND of the ordinal conclusions across every single-parameter
+    perturbation by ``factor`` and ``1/factor``.
+
+    Returns the per-claim verdicts; the test suite asserts the claims
+    that must survive ±25% calibration error.
+    """
+    verdicts: dict[str, bool] = {
+        k: True for k in headline_metrics(device, n).conclusions()
+    }
+    for field in PERTURBABLE_FIELDS:
+        base = getattr(device, field)
+        for f in (factor, 1.0 / factor):
+            m = headline_metrics(device.with_(**{field: base * f}), n)
+            for claim, ok in m.conclusions().items():
+                verdicts[claim] = verdicts[claim] and ok
+    return verdicts

@@ -1,0 +1,85 @@
+"""Device-scale syr2k rate series: Table 1 and Figure 8.
+
+Thin, well-named wrappers over the kernel cost models that produce exactly
+the rows/series the paper reports, so the benchmark harness can print them
+side by side with the published numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpusim.device import DeviceSpec
+from ..gpusim.kernels import syr2k_tflops
+
+__all__ = ["Table1Row", "table1_rows", "figure8_series", "PAPER_TABLE1"]
+
+#: The paper's Table 1, for side-by-side printing and calibration tests:
+#: {(device, n): {k: TFLOPs}}.
+PAPER_TABLE1: dict[tuple[str, int], dict[int, float]] = {
+    ("H100-SXM", 8192): {
+        16: 0.43, 32: 0.86, 64: 1.71, 128: 3.39, 256: 6.41,
+        512: 11.57, 1024: 18.91, 2048: 27.21, 4096: 34.59,
+    },
+    ("H100-SXM", 32768): {
+        16: 3.58, 32: 7.02, 64: 12.78, 128: 21.05, 256: 30.13,
+        512: 38.31, 1024: 42.86, 2048: 45.36, 4096: 45.54,
+    },
+    ("RTX 4090", 8192): {
+        16: 1.07, 32: 1.07, 64: 1.06, 128: 1.06, 256: 1.12,
+        512: 1.20, 1024: 1.22, 2048: 1.23, 4096: 1.24,
+    },
+    ("RTX 4090", 32768): {
+        16: 1.19, 32: 1.20, 64: 1.21, 128: 1.21, 256: 1.22,
+        512: 1.24, 1024: 1.24, 2048: 1.24, 4096: 1.25,
+    },
+}
+
+
+@dataclass
+class Table1Row:
+    """One ``k`` row of Table 1: model vs paper TFLOPs per (device, n)."""
+
+    k: int
+    model: dict[tuple[str, int], float]
+    paper: dict[tuple[str, int], float]
+
+
+def table1_rows(
+    devices: list[DeviceSpec],
+    ns: tuple[int, ...] = (8192, 32768),
+    ks: tuple[int, ...] = (16, 32, 64, 128, 256, 512, 1024, 2048, 4096),
+) -> list[Table1Row]:
+    """Regenerate Table 1 (cuBLAS-style syr2k TFLOPs vs ``k``)."""
+    rows = []
+    for k in ks:
+        model = {}
+        paper = {}
+        for dev in devices:
+            for n in ns:
+                model[(dev.name, n)] = syr2k_tflops(dev, n, k, kind="cublas")
+                paper[(dev.name, n)] = PAPER_TABLE1.get((dev.name, n), {}).get(k, float("nan"))
+        rows.append(Table1Row(k=k, model=model, paper=paper))
+    return rows
+
+
+def figure8_series(
+    device: DeviceSpec,
+    ns: list[int],
+    k: int = 1024,
+) -> list[tuple[int, float, float]]:
+    """Figure 8: (n, cuBLAS TFLOPs, proposed-square TFLOPs) across sizes.
+
+    The proposed schedule stays flat while cuBLAS collapses past its
+    large-``n`` cliff (``n >= 49152`` on H100).
+    """
+    out = []
+    for n in ns:
+        out.append(
+            (
+                n,
+                syr2k_tflops(device, n, k, kind="cublas"),
+                syr2k_tflops(device, n, k, kind="square"),
+            )
+        )
+    return out

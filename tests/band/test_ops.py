@@ -1,0 +1,93 @@
+"""Unit tests for band utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.band.ops import (
+    bandwidth_of,
+    bandwidth_profile,
+    extract_tridiagonal,
+    is_banded,
+    off_band_norm,
+    random_symmetric_band,
+    symmetric_error,
+)
+
+
+class TestBandwidthOf:
+    def test_exact_band(self, rng):
+        A = random_symmetric_band(20, 4, rng)
+        assert bandwidth_of(A) == 4
+
+    def test_diagonal_matrix(self):
+        assert bandwidth_of(np.diag(np.arange(1.0, 6.0))) == 0
+
+    def test_dense_matrix(self, rng):
+        A = rng.standard_normal((8, 8))
+        assert bandwidth_of(A) == 7
+
+    def test_tolerance_filters_noise(self, rng):
+        A = random_symmetric_band(15, 2, rng)
+        A[10, 0] = 1e-14
+        A[0, 10] = 1e-14
+        assert bandwidth_of(A, tol=1e-12) == 2
+        assert bandwidth_of(A, tol=0.0) == 10
+
+
+class TestOffBandNorm:
+    def test_zero_within_band(self, rng):
+        A = random_symmetric_band(12, 3, rng)
+        assert off_band_norm(A, 3) == 0.0
+
+    def test_counts_both_triangles(self):
+        A = np.zeros((5, 5))
+        A[4, 0] = 3.0
+        A[0, 4] = 4.0
+        assert abs(off_band_norm(A, 1) - 5.0) < 1e-14
+
+    def test_is_banded(self, rng):
+        A = random_symmetric_band(20, 3, rng)
+        assert is_banded(A, 3)
+        assert not is_banded(A + np.eye(20)[::-1] * 10, 3)
+
+
+class TestExtractTridiagonal:
+    def test_values(self, rng):
+        A = random_symmetric_band(10, 1, rng)
+        d, e = extract_tridiagonal(A)
+        assert np.array_equal(d, np.diagonal(A))
+        assert np.array_equal(e, np.diagonal(A, -1))
+
+    def test_returns_copies(self, rng):
+        A = random_symmetric_band(8, 1, rng)
+        d, _ = extract_tridiagonal(A)
+        d[0] = 999.0
+        assert A[0, 0] != 999.0
+
+
+class TestProfiles:
+    def test_bandwidth_profile(self, rng):
+        A = random_symmetric_band(16, 3, rng)
+        prof = bandwidth_profile(A)
+        assert np.all(prof[:-3] == 3)
+        assert prof[-1] == 0
+
+    def test_symmetric_error(self, rng):
+        A = random_symmetric_band(10, 2, rng)
+        assert symmetric_error(A) == 0.0
+        A[3, 1] += 1.0
+        # Both (3,1) and (1,3) now disagree -> sqrt(2).
+        assert abs(symmetric_error(A) - np.sqrt(2.0)) < 1e-14
+
+
+class TestRandomBand:
+    def test_structure(self, rng):
+        A = random_symmetric_band(30, 5, rng)
+        assert np.array_equal(A, A.T)
+        assert bandwidth_of(A) == 5
+
+    def test_deterministic_default_seed(self):
+        A1 = random_symmetric_band(10, 2)
+        A2 = random_symmetric_band(10, 2)
+        assert np.array_equal(A1, A2)

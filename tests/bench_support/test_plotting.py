@@ -1,0 +1,70 @@
+"""Unit tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.plotting import bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_renders_all_series_markers(self):
+        chart = line_chart(
+            [("a", [(0, 0), (1, 1)]), ("b", [(0, 1), (1, 0)])],
+            width=20, height=8,
+        )
+        assert chart.legend == {"a": "*", "b": "o"}
+        assert "*" in chart.text and "o" in chart.text
+
+    def test_axis_labels_present(self):
+        chart = line_chart([("s", [(10, 5), (100, 50)])], width=30, height=6)
+        assert "10" in chart.text and "100" in chart.text
+        assert "50" in chart.text
+
+    def test_log_scale_tag(self):
+        chart = line_chart([("s", [(1, 1), (2, 1000)])], logy=True)
+        assert "[log y]" in chart.text
+
+    def test_monotone_series_slopes_up(self):
+        chart = line_chart([("up", [(0, 0), (1, 1), (2, 2)])], width=12, height=6)
+        rows = [l.split("|", 1)[1] for l in chart.text.splitlines() if "|" in l]
+        cols = {}
+        for r, line in enumerate(rows):
+            for c, ch in enumerate(line):
+                if ch == "*":
+                    cols[c] = r
+        # Larger x -> smaller row index (higher on screen).
+        items = sorted(cols.items())
+        assert all(r1 >= r2 for (_, r1), (_, r2) in zip(items, items[1:]))
+
+    def test_empty_series(self):
+        chart = line_chart([])
+        assert "no data" in chart.text
+
+    def test_constant_series_no_crash(self):
+        chart = line_chart([("flat", [(0, 5), (1, 5), (2, 5)])])
+        assert "*" in chart.text
+
+    def test_title(self):
+        chart = line_chart([("s", [(0, 1)])], title="My title")
+        assert chart.text.splitlines()[0] == "My title"
+
+
+class TestBarChart:
+    def test_bars_and_shares(self):
+        chart = bar_chart(["x", "yy"], [1.0, 3.0], width=12, unit="s")
+        lines = chart.text.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("#") == 12  # max bar fills the width
+        assert "75.0%" in lines[1]
+
+    def test_zero_value_bar(self):
+        chart = bar_chart(["a", "b"], [0.0, 2.0])
+        assert "a" in chart.text
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert "no data" in bar_chart([], []).text

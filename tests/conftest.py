@@ -1,0 +1,34 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic per-test RNG."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def sym64(rng) -> np.ndarray:
+    """A 64 x 64 GOE matrix — the workhorse input."""
+    g = rng.standard_normal((64, 64))
+    return (g + g.T) / 2.0
+
+
+def make_symmetric(n: int, seed: int = 0) -> np.ndarray:
+    g = np.random.default_rng(seed).standard_normal((n, n))
+    return (g + g.T) / 2.0
+
+
+def reconstruction_error(A: np.ndarray, Q: np.ndarray, B: np.ndarray) -> float:
+    """Relative ``||A - Q B Q^T||_F``."""
+    return float(np.linalg.norm(A - Q @ B @ Q.T) / max(np.linalg.norm(A), 1e-300))
+
+
+def orthogonality_error(Q: np.ndarray) -> float:
+    n = Q.shape[0]
+    return float(np.linalg.norm(Q.T @ Q - np.eye(n)))

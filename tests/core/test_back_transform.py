@@ -1,0 +1,127 @@
+"""Unit tests for the SBR back transformation (Algorithm 3 / Figure 13)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.back_transform import (
+    apply_sbr_q,
+    apply_sbr_q_transpose,
+    assemble_eigenvectors,
+    merge_blocks_grouped,
+    merge_blocks_recursive,
+    q_from_blocks,
+)
+from repro.core.bulge_chasing import bulge_chase
+from repro.core.dbbr import dbbr
+from repro.core.sbr import sbr
+from tests.conftest import make_symmetric
+
+
+@pytest.fixture
+def reduction():
+    A = make_symmetric(40, seed=77)
+    return A, dbbr(A, 4, 12)
+
+
+class TestMethodsAgree:
+    @pytest.mark.parametrize("method", ["blocked", "recursive", "incremental"])
+    def test_q_matches_blocked(self, reduction, method):
+        _, res = reduction
+        Q_ref = q_from_blocks(res.blocks, 40, method="blocked")
+        Q = q_from_blocks(res.blocks, 40, method=method)
+        assert np.allclose(Q, Q_ref, atol=1e-12)
+
+    @pytest.mark.parametrize("gw", [4, 8, 16, 64])
+    def test_incremental_group_widths(self, reduction, gw):
+        _, res = reduction
+        Q_ref = q_from_blocks(res.blocks, 40, method="blocked")
+        Q = np.eye(40)
+        apply_sbr_q(res.blocks, Q, method="incremental", group_width=gw)
+        assert np.allclose(Q, Q_ref, atol=1e-12)
+
+    def test_unknown_method_rejected(self, reduction):
+        _, res = reduction
+        with pytest.raises(ValueError):
+            apply_sbr_q(res.blocks, np.eye(40), method="bogus")
+
+    def test_transpose_is_inverse(self, reduction, rng):
+        _, res = reduction
+        for method in ["blocked", "recursive", "incremental"]:
+            X = rng.standard_normal((40, 5))
+            Y = X.copy()
+            apply_sbr_q(res.blocks, Y, method=method)
+            apply_sbr_q_transpose(res.blocks, Y, method=method)
+            assert np.allclose(X, Y, atol=1e-12)
+
+
+class TestMerging:
+    def test_recursive_merge_width(self, reduction):
+        _, res = reduction
+        W, Y = merge_blocks_recursive(res.blocks, 40)
+        total = sum(b.width for b in res.blocks)
+        assert W.shape == (40, total) and Y.shape == (40, total)
+
+    def test_recursive_merge_is_orthogonal(self, reduction):
+        _, res = reduction
+        W, Y = merge_blocks_recursive(res.blocks, 40)
+        Q = np.eye(40) - W @ Y.T
+        assert np.linalg.norm(Q.T @ Q - np.eye(40)) < 1e-12
+
+    def test_empty_blocks(self):
+        W, Y = merge_blocks_recursive([], 10)
+        assert W.shape == (10, 0)
+        Q = np.eye(10)
+        apply_sbr_q([], Q, method="recursive")
+        assert np.allclose(Q, np.eye(10))
+
+    def test_grouped_merge_respects_width(self, reduction):
+        _, res = reduction
+        groups = merge_blocks_grouped(res.blocks, 40, group_width=8)
+        # All groups except possibly the last reach >= 8 columns.
+        for W, _ in groups[:-1]:
+            assert W.shape[1] >= 8
+
+    def test_grouped_product_in_order(self, reduction):
+        _, res = reduction
+        groups = merge_blocks_grouped(res.blocks, 40, group_width=8)
+        Q = np.eye(40)
+        for W, Y in groups:
+            Q = Q @ (np.eye(40) - W @ Y.T)
+        assert np.allclose(Q, q_from_blocks(res.blocks, 40), atol=1e-12)
+
+    def test_group_width_one_is_identity_grouping(self, reduction):
+        _, res = reduction
+        groups = merge_blocks_grouped(res.blocks, 40, group_width=1)
+        assert len(groups) == len(res.blocks)
+
+    def test_invalid_group_width(self, reduction):
+        _, res = reduction
+        with pytest.raises(ValueError):
+            merge_blocks_grouped(res.blocks, 40, group_width=0)
+
+
+class TestEigenvectorAssembly:
+    def test_full_pipeline_eigenvectors(self):
+        A = make_symmetric(36, seed=99)
+        res = sbr(A, 3)
+        bc = bulge_chase(res.band, 3)
+        from repro.band.storage import dense_from_band
+
+        T = dense_from_band(bc.d, bc.e)
+        lam, U = np.linalg.eigh(T)
+        for method in ["blocked", "recursive", "incremental"]:
+            V = assemble_eigenvectors(res.blocks, bc, U, method=method, group_width=6)
+            resid = np.linalg.norm(A @ V - V * lam) / np.linalg.norm(A)
+            orth = np.linalg.norm(V.T @ V - np.eye(36))
+            assert resid < 1e-12 and orth < 1e-12
+
+    def test_input_u_not_modified(self):
+        A = make_symmetric(20, seed=101)
+        res = sbr(A, 2)
+        bc = bulge_chase(res.band, 2)
+        U = np.eye(20)
+        U0 = U.copy()
+        assemble_eigenvectors(res.blocks, bc, U)
+        assert np.array_equal(U, U0)

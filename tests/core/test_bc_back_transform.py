@@ -1,0 +1,119 @@
+"""Unit tests for the blocked BC back transformation (future-work item)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.band.ops import random_symmetric_band
+from repro.core.bc_back_transform import (
+    apply_q1_blocked,
+    blocked_bc_back_time,
+    blocked_q1_blocks,
+)
+from repro.core.bulge_chasing import bulge_chase
+from repro.gpusim import H100
+from repro.models.baselines import bc_back_transform_time
+
+
+@pytest.fixture
+def chase(rng):
+    n, b = 36, 4
+    A = random_symmetric_band(n, b, rng)
+    return n, b, bulge_chase(A, b)
+
+
+class TestBlocking:
+    @pytest.mark.parametrize("group", [1, 2, 4, 8, 64])
+    def test_matches_scalar_application(self, chase, rng, group):
+        n, _, bc = chase
+        blocks = blocked_q1_blocks(bc, group=group)
+        X = rng.standard_normal((n, 6))
+        Y_scalar = X.copy()
+        bc.apply_q1(Y_scalar)
+        Y_blocked = X.copy()
+        apply_q1_blocked(blocks, Y_blocked)
+        assert np.allclose(Y_scalar, Y_blocked, atol=1e-12)
+
+    def test_transpose_matches(self, chase, rng):
+        n, _, bc = chase
+        blocks = blocked_q1_blocks(bc, group=4)
+        X = rng.standard_normal((n, 3))
+        Y1 = X.copy()
+        bc.apply_q1_transpose(Y1)
+        Y2 = X.copy()
+        apply_q1_blocked(blocks, Y2, transpose=True)
+        assert np.allclose(Y1, Y2, atol=1e-12)
+
+    def test_blocked_q_is_orthogonal(self, chase):
+        n, _, bc = chase
+        blocks = blocked_q1_blocks(bc, group=8)
+        Q = np.eye(n)
+        apply_q1_blocked(blocks, Q)
+        assert np.linalg.norm(Q.T @ Q - np.eye(n)) < 1e-11
+
+    def test_group_one_is_one_block_per_reflector(self, chase):
+        _, _, bc = chase
+        blocks = blocked_q1_blocks(bc, group=1)
+        assert len(blocks) == len(bc.reflectors)
+        assert all(b.width == 1 for b in blocks)
+
+    def test_groups_never_cross_sweeps(self, chase):
+        _, b, bc = chase
+        blocks = blocked_q1_blocks(bc, group=1000)
+        # Width can never exceed the longest sweep's task count.
+        max_tasks = max(
+            sum(1 for r in bc.reflectors if r.sweep == s)
+            for s in {r.sweep for r in bc.reflectors}
+        )
+        assert max(blk.width for blk in blocks) <= max_tasks
+
+    def test_block_row_spans_are_contiguous_windows(self, chase):
+        _, b, bc = chase
+        for blk in blocked_q1_blocks(bc, group=4):
+            # g consecutive chase reflectors span <= (g+1) * b rows.
+            assert blk.rows <= (blk.width + 1) * b
+
+    def test_invalid_group(self, chase):
+        _, _, bc = chase
+        with pytest.raises(ValueError):
+            blocked_q1_blocks(bc, group=0)
+
+    def test_empty_reflector_log(self, rng):
+        A = random_symmetric_band(10, 1, rng)
+        bc = bulge_chase(A, 1)
+        assert blocked_q1_blocks(bc, group=4) == []
+
+    def test_pipelined_log_groups_and_stays_exact(self, rng):
+        """The pipelined chase records reflectors in interleaved order;
+        sweep-major re-sorting is a commuting reorder, so the blocked
+        application is still exact AND gets real grouping."""
+        from repro.core.bc_pipeline import bulge_chase_pipelined
+
+        n, b = 48, 4
+        A = random_symmetric_band(n, b, rng)
+        bc, _ = bulge_chase_pipelined(A, b)
+        blocks = blocked_q1_blocks(bc, group=16)
+        assert len(blocks) < len(bc.reflectors) / 3  # real compression
+        X = rng.standard_normal((n, 4))
+        Y1 = X.copy()
+        bc.apply_q1(Y1)
+        Y2 = X.copy()
+        apply_q1_blocked(blocks, Y2)
+        assert np.allclose(Y1, Y2, atol=1e-12)
+
+
+class TestCostModel:
+    def test_blocked_beats_baseline_past_breakeven(self):
+        # The future-work payoff at device scale: the WY width must exceed
+        # the baseline's effective per-sweep blocking (~b) before the
+        # grouped GEMMs win; past that the gain is substantial.
+        n, b = 49152, 32
+        scalar = bc_back_transform_time(H100, n, b)
+        assert blocked_bc_back_time(H100, n, b, 64) < scalar
+        assert blocked_bc_back_time(H100, n, b, 128) < scalar
+
+    def test_monotone_improvement_with_group(self):
+        n, b = 49152, 32
+        times = [blocked_bc_back_time(H100, n, b, g) for g in (8, 32, 64, 128)]
+        assert times == sorted(times, reverse=True)

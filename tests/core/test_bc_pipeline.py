@@ -1,0 +1,106 @@
+"""Unit tests for the pipelined (GPU-style) bulge chasing schedule."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.band.ops import random_symmetric_band
+from repro.core.bc_pipeline import (
+    SAFETY_TASKS,
+    bulge_chase_pipelined,
+    pipeline_schedule,
+)
+from repro.core.bulge_chasing import bulge_chase, num_tasks_in_sweep
+
+
+class TestSchedule:
+    def test_all_tasks_scheduled_once(self):
+        n, b = 30, 3
+        rounds, stats = pipeline_schedule(n, b)
+        total = sum(num_tasks_in_sweep(n, b, i) for i in range(n - 2))
+        scheduled = sum(len(r) for r in rounds)
+        assert scheduled == total == stats.total_tasks
+
+    def test_gcom_rule_never_violated(self):
+        # Sweep i's task t must come after sweep i-1's task t + SAFETY - 1.
+        rounds, _ = pipeline_schedule(40, 4)
+        finished: dict[tuple[int, int], int] = {}
+        for r, tasks in enumerate(rounds):
+            for t in tasks:
+                finished[(t.sweep, t.step)] = r
+        for (sweep, step), r in finished.items():
+            dep = (sweep - 1, step + SAFETY_TASKS - 1)
+            if dep in finished:
+                assert finished[dep] < r or (
+                    finished[dep] == r and False
+                ), f"dependency violated at {(sweep, step)}"
+
+    def test_same_sweep_tasks_in_order(self):
+        rounds, _ = pipeline_schedule(30, 3)
+        pos: dict[tuple[int, int], int] = {}
+        for r, tasks in enumerate(rounds):
+            for t in tasks:
+                pos[(t.sweep, t.step)] = r
+        for (sweep, step), r in pos.items():
+            if (sweep, step + 1) in pos:
+                assert pos[(sweep, step + 1)] > r
+
+    def test_max_sweeps_respected(self):
+        rounds, stats = pipeline_schedule(40, 3, max_sweeps=2)
+        for tasks in rounds:
+            assert len({t.sweep for t in tasks}) <= 2
+        assert stats.max_parallel <= 2
+
+    def test_serial_mode_one_task_per_round(self):
+        rounds, stats = pipeline_schedule(25, 3, max_sweeps=1)
+        assert all(len(r) == 1 for r in rounds)
+        assert stats.mean_parallel == 1.0
+
+    def test_more_sweeps_fewer_rounds(self):
+        _, s1 = pipeline_schedule(50, 4, max_sweeps=1)
+        _, s4 = pipeline_schedule(50, 4, max_sweeps=4)
+        _, sinf = pipeline_schedule(50, 4)
+        assert s1.rounds > s4.rounds >= sinf.rounds
+
+    def test_stalls_appear_when_capped(self):
+        _, s_capped = pipeline_schedule(60, 3, max_sweeps=2)
+        _, s_free = pipeline_schedule(60, 3)
+        assert s_capped.stall_rounds > 0
+        assert s_free.rounds <= s_capped.rounds
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            pipeline_schedule(20, 3, max_sweeps=0)
+
+    def test_unbounded_rounds_near_3n(self):
+        # Law 1+2 bound: fully pipelined completion in ~3n rounds.
+        n = 60
+        _, stats = pipeline_schedule(n, 4)
+        assert stats.rounds <= 3 * n
+        assert stats.rounds >= n  # it cannot beat one sweep's own depth
+
+
+class TestPipelinedNumerics:
+    @pytest.mark.parametrize("S", [None, 1, 2, 7, 100])
+    def test_matches_sequential(self, rng, S):
+        B = random_symmetric_band(32, 4, rng)
+        seq = bulge_chase(B, 4)
+        pip, _ = bulge_chase_pipelined(B, 4, max_sweeps=S)
+        assert np.array_equal(seq.d, pip.d)
+        assert np.array_equal(seq.e, pip.e)
+
+    def test_q1_valid_in_pipeline_order(self, rng):
+        from repro.band.storage import dense_from_band
+
+        B = random_symmetric_band(28, 3, rng)
+        pip, _ = bulge_chase_pipelined(B, 3, max_sweeps=4)
+        T = dense_from_band(pip.d, pip.e)
+        Q1 = pip.q1()
+        assert np.linalg.norm(Q1 @ T @ Q1.T - B) / np.linalg.norm(B) < 1e-12
+
+    def test_stats_returned_for_trivial_input(self, rng):
+        B = random_symmetric_band(10, 1, rng)
+        res, stats = bulge_chase_pipelined(B, 1)
+        assert stats.total_tasks == 0
+        assert res.d.size == 10

@@ -1,0 +1,110 @@
+"""Unit tests for band-storage bulge chasing (O(n b) memory)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.band.ops import random_symmetric_band
+from repro.band.storage import LowerBandStorage, PackedBandStorage, dense_from_band
+from repro.core.bulge_chasing import bulge_chase
+from repro.core.bulge_chasing_band import WorkingBand, bulge_chase_band
+
+
+class TestWorkingBand:
+    def test_window_roundtrip(self, rng):
+        A = random_symmetric_band(20, 3, rng)
+        wb = WorkingBand(LowerBandStorage.from_dense(A, 3))
+        D = wb.window_to_dense(4, 12)
+        assert np.allclose(D, A[4:12, 4:12])
+        D[0, 0] = 99.0
+        D[1, 0] = D[0, 1] = -7.0
+        wb.dense_to_window(D, 4, 12)
+        D2 = wb.window_to_dense(4, 12)
+        assert D2[0, 0] == 99.0 and D2[1, 0] == -7.0
+
+    def test_memory_is_linear_in_n(self, rng):
+        n, b = 200, 4
+        wb = WorkingBand(LowerBandStorage.from_dense(random_symmetric_band(n, b, rng), b))
+        assert wb.data.nbytes == (2 * b + 1) * n * 8
+
+    def test_tridiagonal_extraction(self, rng):
+        A = random_symmetric_band(12, 1, rng)
+        wb = WorkingBand(LowerBandStorage.from_dense(A, 1))
+        d, e = wb.tridiagonal()
+        assert np.allclose(d, np.diagonal(A))
+        assert np.allclose(e, np.diagonal(A, -1))
+
+    def test_fill_depth_starts_at_b(self, rng):
+        A = random_symmetric_band(16, 3, rng)
+        wb = WorkingBand(LowerBandStorage.from_dense(A, 3))
+        assert wb.max_fill_depth() == 3
+
+
+class TestBulgeChaseBand:
+    @pytest.mark.parametrize("n,b", [(20, 2), (30, 3), (40, 5), (25, 8)])
+    def test_matches_dense_driver(self, rng, n, b):
+        A = random_symmetric_band(n, b, rng)
+        dense = bulge_chase(A, b)
+        band = bulge_chase_band(LowerBandStorage.from_dense(A, b))
+        assert np.allclose(dense.d, band.d, atol=1e-12)
+        assert np.allclose(dense.e, band.e, atol=1e-12)
+        assert len(dense.reflectors) == len(band.reflectors)
+        for r1, r2 in zip(dense.reflectors, band.reflectors):
+            assert r1.offset == r2.offset
+            assert np.allclose(r1.v, r2.v, atol=1e-10)
+
+    def test_accepts_packed_storage(self, rng):
+        A = random_symmetric_band(24, 3, rng)
+        pb = PackedBandStorage.from_dense(A, 3)
+        res = bulge_chase_band(pb)
+        ref = bulge_chase(A, 3)
+        assert np.allclose(res.d, ref.d, atol=1e-12)
+
+    def test_accepts_dense_with_bandwidth(self, rng):
+        A = random_symmetric_band(18, 2, rng)
+        res = bulge_chase_band(A, b=2)
+        ref = bulge_chase(A, 2)
+        assert np.allclose(res.d, ref.d, atol=1e-12)
+
+    def test_dense_without_bandwidth_rejected(self, rng):
+        with pytest.raises(ValueError):
+            bulge_chase_band(random_symmetric_band(10, 2, rng))
+
+    def test_q1_reconstructs(self, rng):
+        n, b = 28, 4
+        A = random_symmetric_band(n, b, rng)
+        res = bulge_chase_band(LowerBandStorage.from_dense(A, b))
+        T = dense_from_band(res.d, res.e)
+        Q1 = res.q1()
+        assert np.linalg.norm(Q1 @ T @ Q1.T - A) / np.linalg.norm(A) < 1e-12
+
+    def test_tridiagonal_passthrough(self, rng):
+        A = random_symmetric_band(15, 1, rng)
+        res = bulge_chase_band(LowerBandStorage.from_dense(A, 1))
+        assert len(res.reflectors) == 0
+        assert np.allclose(res.d, np.diagonal(A))
+
+    def test_invalid_bandwidth(self, rng):
+        lb = LowerBandStorage(np.zeros((1, 10)), 0)
+        with pytest.raises(ValueError):
+            bulge_chase_band(lb)
+
+    def test_fill_never_exceeds_2b(self, rng):
+        """The WorkingBand depth contract: a chase in progress never
+        creates fill deeper than 2b (the storage invariant)."""
+        from repro.core.bulge_chasing import apply_bc_task, sweep_tasks, task_window
+        from repro.core.bulge_chasing import BCTask
+
+        n, b = 24, 3
+        A = random_symmetric_band(n, b, rng)
+        wb = WorkingBand(LowerBandStorage.from_dense(A, b))
+        for i in range(4):
+            for task in sweep_tasks(n, b, i):
+                lo, hi = task_window(task, n, b)
+                D = wb.window_to_dense(lo, hi)
+                local = BCTask(task.sweep, task.step, task.col - lo,
+                               task.row0 - lo, task.row1 - lo)
+                apply_bc_task(D, b, local)
+                wb.dense_to_window(D, lo, hi)
+                assert wb.max_fill_depth(tol=1e-14) <= 2 * b

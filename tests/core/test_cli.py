@@ -1,0 +1,70 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_evd_defaults(self):
+        args = build_parser().parse_args(["evd"])
+        assert args.n == 300 and args.method == "proposed"
+
+    def test_invalid_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evd", "--method", "jacobi2"])
+
+
+class TestCommands:
+    def test_evd_runs(self, capsys):
+        assert main(["evd", "--n", "80", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "residual" in out and "eigenvalue" in out
+
+    def test_evd_no_vectors(self, capsys):
+        assert main(["evd", "--n", "60", "--no-vectors"]) == 0
+        out = capsys.readouterr().out
+        assert "residual" not in out
+
+    def test_tridiag_runs(self, capsys):
+        assert main(["tridiag", "--n", "70", "--method", "dbbr",
+                     "--bandwidth", "4", "--second-block", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "spectrum error" in out and "BC pipeline" in out
+
+    def test_tridiag_direct(self, capsys):
+        assert main(["tridiag", "--n", "50", "--method", "direct"]) == 0
+        out = capsys.readouterr().out
+        assert "bandwidth: 1" in out
+
+    @pytest.mark.parametrize("name", ["table1", "fig5", "fig9", "fig15"])
+    def test_figures_render(self, capsys, name):
+        assert main(["figure", name]) == 0
+        out = capsys.readouterr().out
+        assert "vs" in out and len(out.splitlines()) > 5
+
+    def test_unknown_figure(self):
+        with pytest.raises(KeyError):
+            main(["figure", "fig99"])
+
+    def test_simulate_bc(self, capsys):
+        assert main(["simulate-bc", "--n", "8192", "--bandwidth", "32",
+                     "--sweeps", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out and "throughput" in out
+
+    def test_simulate_bc_naive_4090(self, capsys):
+        assert main(["simulate-bc", "--n", "4096", "--device", "4090",
+                     "--naive"]) == 0
+        assert "naive" in capsys.readouterr().out
+
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "H100" in out and "4090" in out

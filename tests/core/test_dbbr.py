@@ -1,0 +1,106 @@
+"""Unit tests for double-blocking band reduction (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.band.ops import bandwidth_of, symmetric_error
+from repro.core.dbbr import dbbr
+from repro.core.sbr import sbr
+from tests.conftest import make_symmetric
+
+
+class TestDBBRStructure:
+    @pytest.mark.parametrize(
+        "n,b,k", [(32, 2, 8), (40, 4, 16), (50, 5, 20), (64, 8, 8), (45, 3, 12)]
+    )
+    def test_band_structure(self, n, b, k):
+        A = make_symmetric(n, seed=n + b + k)
+        res = dbbr(A, b, k)
+        assert bandwidth_of(res.band, tol=1e-10) <= b
+        assert symmetric_error(res.band) < 1e-12
+
+    def test_k_equals_b_degenerates_to_sbr(self):
+        A = make_symmetric(30, seed=2)
+        r1 = dbbr(A, 4, 4, syr2k_kind="reference")
+        r2 = sbr(A, 4)
+        assert np.allclose(r1.band, r2.band, atol=1e-12)
+
+    def test_k_not_multiple_of_b_rejected(self):
+        with pytest.raises(ValueError):
+            dbbr(make_symmetric(20), 4, 10)
+
+    def test_k_smaller_than_b_rejected(self):
+        with pytest.raises(ValueError):
+            dbbr(make_symmetric(20), 8, 4)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            dbbr(make_symmetric(20), 0, 4)
+
+    def test_input_not_modified(self):
+        A = make_symmetric(25, seed=4)
+        A0 = A.copy()
+        dbbr(A, 3, 9)
+        assert np.array_equal(A, A0)
+
+
+class TestDBBRCorrectness:
+    @pytest.mark.parametrize("n,b,k", [(30, 3, 9), (48, 4, 16), (41, 5, 15)])
+    def test_similarity_transform(self, n, b, k):
+        A = make_symmetric(n, seed=n * 3 + k)
+        res = dbbr(A, b, k)
+        err = np.linalg.norm(res.reconstruct() - A) / np.linalg.norm(A)
+        assert err < 1e-13
+
+    @pytest.mark.parametrize("kind", ["reference", "rect", "square"])
+    def test_all_syr2k_kinds_agree(self, kind):
+        A = make_symmetric(36, seed=6)
+        ref = dbbr(A, 4, 12, syr2k_kind="reference")
+        got = dbbr(A, 4, 12, syr2k_kind=kind)
+        assert np.allclose(got.band, ref.band, atol=1e-12)
+
+    def test_same_band_as_sbr(self):
+        # DBBR computes the *same* reduction as SBR, just reordered:
+        # identical panels -> identical band matrix (up to roundoff).
+        A = make_symmetric(40, seed=8)
+        r_sbr = sbr(A, 4)
+        r_dbbr = dbbr(A, 4, 16, syr2k_kind="reference")
+        assert np.allclose(r_dbbr.band, r_sbr.band, atol=1e-10)
+
+    def test_same_blocks_as_sbr(self):
+        A = make_symmetric(32, seed=10)
+        r_sbr = sbr(A, 4)
+        r_dbbr = dbbr(A, 4, 8, syr2k_kind="reference")
+        assert len(r_sbr.blocks) == len(r_dbbr.blocks)
+        for b1, b2 in zip(r_sbr.blocks, r_dbbr.blocks):
+            assert b1.offset == b2.offset
+            assert np.allclose(b1.Y, b2.Y, atol=1e-10)
+
+    def test_spectrum_preserved(self):
+        A = make_symmetric(44, seed=12)
+        res = dbbr(A, 4, 16)
+        assert np.max(
+            np.abs(np.linalg.eigvalsh(A) - np.linalg.eigvalsh(res.band))
+        ) < 1e-11
+
+    def test_short_final_panel_and_block(self):
+        # nelim not divisible by k nor b: exercises both tail paths.
+        A = make_symmetric(37, seed=14)
+        res = dbbr(A, 4, 12)
+        err = np.linalg.norm(res.reconstruct() - A) / np.linalg.norm(A)
+        assert err < 1e-13
+
+    def test_k_spanning_whole_matrix(self):
+        A = make_symmetric(26, seed=16)
+        res = dbbr(A, 2, 24)  # one outer block covers everything
+        err = np.linalg.norm(res.reconstruct() - A) / np.linalg.norm(A)
+        assert err < 1e-13
+
+    def test_dbbr_extra_flops_grow_with_k(self):
+        A = make_symmetric(48, seed=18)
+        f_small = dbbr(A, 4, 4).flops
+        f_large = dbbr(A, 4, 16).flops
+        # Deferral costs extra look-ahead GEMMs.
+        assert f_large > f_small

@@ -1,0 +1,72 @@
+"""Unit tests for the end-to-end EVD driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.evd import eigh
+from repro.bench.workloads import symmetric_with_spectrum, uniform_spectrum
+from tests.conftest import make_symmetric
+
+
+class TestEVDPresets:
+    @pytest.mark.parametrize("method", ["proposed", "magma", "cusolver", "plasma"])
+    def test_eigenpairs(self, method):
+        A = make_symmetric(60, seed=7)
+        lam_ref = np.linalg.eigvalsh(A)
+        res = eigh(A, method=method, bandwidth=4, second_block=8)
+        assert np.max(np.abs(res.eigenvalues - lam_ref)) < 1e-11
+        assert res.residual(A) < 1e-12
+        V = res.eigenvectors
+        assert np.linalg.norm(V.T @ V - np.eye(60)) < 1e-11
+
+    @pytest.mark.parametrize("method", ["proposed", "magma", "cusolver"])
+    def test_eigenvalues_only(self, method):
+        A = make_symmetric(50, seed=8)
+        res = eigh(A, method=method, compute_vectors=False, bandwidth=3, second_block=6)
+        assert res.eigenvectors is None
+        assert np.max(np.abs(res.eigenvalues - np.linalg.eigvalsh(A))) < 1e-11
+        with pytest.raises(ValueError):
+            res.residual(A)
+
+    @pytest.mark.parametrize("solver", ["dc", "qr", "bisect"])
+    def test_all_solvers(self, solver):
+        A = make_symmetric(40, seed=9)
+        res = eigh(A, solver=solver, bandwidth=3, second_block=6)
+        assert res.residual(A) < 1e-10
+        assert res.solver == solver
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(ValueError):
+            eigh(make_symmetric(10), solver="jacobi")
+
+    def test_known_spectrum_recovered(self):
+        lam = uniform_spectrum(48, -3.0, 5.0)
+        A = symmetric_with_spectrum(lam, seed=10)
+        res = eigh(A, bandwidth=4, second_block=8)
+        assert np.max(np.abs(res.eigenvalues - lam)) < 1e-11
+
+    def test_eigenvalues_ascending(self):
+        A = make_symmetric(30, seed=11)
+        res = eigh(A)
+        assert np.all(np.diff(res.eigenvalues) >= -1e-14)
+
+    def test_raw_method_passthrough(self):
+        A = make_symmetric(30, seed=12)
+        res = eigh(A, method="sbr", bandwidth=3)
+        assert res.tridiag.method == "sbr"
+
+    def test_identity_matrix(self):
+        A = np.eye(20)
+        res = eigh(A)
+        assert np.allclose(res.eigenvalues, 1.0)
+        assert res.residual(A) < 1e-13
+
+    def test_rank_one_matrix(self):
+        v = np.arange(1.0, 13.0)
+        A = np.outer(v, v)
+        res = eigh(A, bandwidth=2, second_block=4)
+        lam = res.eigenvalues
+        assert abs(lam[-1] - float(v @ v)) < 1e-9
+        assert np.max(np.abs(lam[:-1])) < 1e-9

@@ -1,0 +1,71 @@
+"""Unit tests for the partial-spectrum EVD path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import goe, symmetric_with_spectrum, uniform_spectrum
+from repro.core.evd import eigh_partial
+
+
+class TestPartialSpectrum:
+    def test_interior_window(self):
+        A = goe(70, seed=50)
+        lam_ref = np.linalg.eigvalsh(A)
+        res = eigh_partial(A, (10, 19), bandwidth=4, second_block=8)
+        assert res.eigenvalues.shape == (10,)
+        assert np.max(np.abs(res.eigenvalues - lam_ref[10:20])) < 1e-10
+        V = res.eigenvectors
+        assert V.shape == (70, 10)
+        assert np.linalg.norm(A @ V - V * res.eigenvalues) / np.linalg.norm(A) < 1e-9
+        assert np.linalg.norm(V.T @ V - np.eye(10)) < 1e-8
+
+    def test_extremal_eigenpairs(self):
+        A = goe(50, seed=51)
+        lam_ref = np.linalg.eigvalsh(A)
+        low = eigh_partial(A, (0, 0), bandwidth=3, second_block=6)
+        high = eigh_partial(A, (49, 49), bandwidth=3, second_block=6)
+        assert abs(low.eigenvalues[0] - lam_ref[0]) < 1e-10
+        assert abs(high.eigenvalues[0] - lam_ref[-1]) < 1e-10
+
+    def test_full_window_matches_eigh(self):
+        A = goe(40, seed=52)
+        res = eigh_partial(A, (0, 39), bandwidth=3, second_block=6)
+        assert np.max(np.abs(res.eigenvalues - np.linalg.eigvalsh(A))) < 1e-10
+
+    def test_eigenvalues_only(self):
+        A = goe(30, seed=53)
+        res = eigh_partial(A, (3, 7), compute_vectors=False)
+        assert res.eigenvectors is None
+        assert res.eigenvalues.shape == (5,)
+
+    def test_known_spectrum(self):
+        lam = uniform_spectrum(60, 0.0, 10.0)
+        A = symmetric_with_spectrum(lam, seed=54)
+        res = eigh_partial(A, (25, 34), bandwidth=4, second_block=8)
+        assert np.max(np.abs(res.eigenvalues - lam[25:35])) < 1e-10
+
+    def test_clustered_window_orthogonalized(self):
+        lam = np.sort(np.concatenate([np.full(5, 1.0) + 1e-10 * np.arange(5),
+                                      np.linspace(2, 3, 25)]))
+        A = symmetric_with_spectrum(lam, seed=55)
+        res = eigh_partial(A, (0, 4), bandwidth=3, second_block=6)
+        V = res.eigenvectors
+        assert np.linalg.norm(V.T @ V - np.eye(5)) < 1e-7
+
+    @pytest.mark.parametrize("method", ["proposed", "magma", "cusolver"])
+    def test_all_presets(self, method):
+        A = goe(36, seed=56)
+        lam_ref = np.linalg.eigvalsh(A)
+        res = eigh_partial(A, (0, 4), method=method, bandwidth=3, second_block=6)
+        assert np.max(np.abs(res.eigenvalues - lam_ref[:5])) < 1e-10
+
+    def test_out_of_range_rejected(self):
+        A = goe(10, seed=57)
+        with pytest.raises(ValueError):
+            eigh_partial(A, (5, 12))
+        with pytest.raises(ValueError):
+            eigh_partial(A, (-1, 3))
+        with pytest.raises(ValueError):
+            eigh_partial(A, (7, 3))

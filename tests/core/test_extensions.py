@@ -1,0 +1,158 @@
+"""Unit tests for Hermitian and generalized eigenproblem extensions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.linalg import eigh as scipy_eigh
+
+from repro.core.extensions import (
+    cholesky_lower,
+    eigh_generalized,
+    eigh_hermitian,
+    solve_triangular_lower,
+)
+
+
+def random_hermitian(n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    G = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+    return (G + G.conj().T) / 2.0
+
+
+def random_spd(n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    M = rng.standard_normal((n, n))
+    return M @ M.T + n * np.eye(n)
+
+
+class TestHermitian:
+    @pytest.mark.parametrize("n", [2, 8, 25, 50])
+    def test_matches_numpy(self, n):
+        A = random_hermitian(n, seed=n)
+        lam, V = eigh_hermitian(A, bandwidth=3, second_block=6)
+        lref = np.linalg.eigvalsh(A)
+        assert np.max(np.abs(lam - lref)) < 1e-10 * max(1, np.max(np.abs(lref)))
+        assert np.linalg.norm(A @ V - V * lam) / np.linalg.norm(A) < 1e-10
+        assert np.linalg.norm(V.conj().T @ V - np.eye(n)) < 1e-9
+
+    def test_eigenvalues_real(self):
+        A = random_hermitian(20, seed=1)
+        lam, _ = eigh_hermitian(A)
+        assert lam.dtype == np.float64
+        assert np.all(np.diff(lam) >= -1e-14)
+
+    def test_eigenvalues_only(self):
+        A = random_hermitian(15, seed=2)
+        lam, V = eigh_hermitian(A, compute_vectors=False)
+        assert V is None and lam.size == 15
+
+    def test_real_symmetric_special_case(self):
+        rng = np.random.default_rng(3)
+        A = rng.standard_normal((12, 12))
+        A = ((A + A.T) / 2).astype(complex)
+        lam, V = eigh_hermitian(A)
+        assert np.max(np.abs(lam - np.linalg.eigvalsh(A.real))) < 1e-11
+
+    def test_degenerate_spectrum(self):
+        rng = np.random.default_rng(4)
+        d = np.array([1.0, 1.0, 1.0, 5.0, 5.0, 7.0])
+        Q, _ = np.linalg.qr(rng.standard_normal((6, 6)) + 1j * rng.standard_normal((6, 6)))
+        A = (Q * d) @ Q.conj().T
+        lam, V = eigh_hermitian(A)
+        assert np.max(np.abs(lam - np.sort(d))) < 1e-10
+        assert np.linalg.norm(V.conj().T @ V - np.eye(6)) < 1e-9
+
+    def test_scaled_identity(self):
+        lam, V = eigh_hermitian(3.5 * np.eye(10, dtype=complex))
+        assert np.allclose(lam, 3.5)
+        assert np.linalg.norm(V.conj().T @ V - np.eye(10)) < 1e-10
+
+    def test_non_hermitian_rejected(self):
+        A = np.array([[1.0, 2.0], [3.0, 4.0]], dtype=complex)
+        with pytest.raises(ValueError, match="Hermitian"):
+            eigh_hermitian(A)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            eigh_hermitian(np.zeros((2, 3), dtype=complex))
+
+
+class TestCholesky:
+    @pytest.mark.parametrize("n", [1, 7, 32, 33, 70])
+    def test_factorization(self, n):
+        B = random_spd(n, seed=n)
+        L = cholesky_lower(B)
+        assert np.allclose(L, np.tril(L))
+        assert np.linalg.norm(L @ L.T - B) / np.linalg.norm(B) < 1e-13
+
+    def test_matches_numpy(self):
+        B = random_spd(20, seed=5)
+        assert np.allclose(cholesky_lower(B), np.linalg.cholesky(B), atol=1e-11)
+
+    def test_indefinite_rejected(self):
+        B = np.diag([1.0, -1.0, 2.0])
+        with pytest.raises(np.linalg.LinAlgError):
+            cholesky_lower(B)
+
+    def test_triangular_solves(self, rng):
+        B = random_spd(15, seed=6)
+        L = cholesky_lower(B)
+        x = rng.standard_normal(15)
+        assert np.allclose(solve_triangular_lower(L, L @ x), x, atol=1e-10)
+        assert np.allclose(solve_triangular_lower(L, L.T @ x, transpose=True),
+                           x, atol=1e-10)
+
+    def test_triangular_solve_matrix_rhs(self, rng):
+        B = random_spd(12, seed=7)
+        L = cholesky_lower(B)
+        X = rng.standard_normal((12, 4))
+        assert np.allclose(solve_triangular_lower(L, L @ X), X, atol=1e-10)
+
+
+class TestGeneralized:
+    @pytest.mark.parametrize("n", [4, 20, 45])
+    def test_matches_scipy(self, n):
+        rng = np.random.default_rng(n)
+        A = rng.standard_normal((n, n))
+        A = (A + A.T) / 2
+        B = random_spd(n, seed=n + 1)
+        lam, X = eigh_generalized(A, B, bandwidth=3, second_block=6)
+        lref = scipy_eigh(A, B, eigvals_only=True)
+        assert np.max(np.abs(lam - lref)) < 1e-9 * max(1, np.max(np.abs(lref)))
+        resid = np.linalg.norm(A @ X - B @ X * lam) / np.linalg.norm(A)
+        assert resid < 1e-10
+
+    def test_b_orthonormal_eigenvectors(self):
+        n = 25
+        rng = np.random.default_rng(8)
+        A = rng.standard_normal((n, n))
+        A = (A + A.T) / 2
+        B = random_spd(n, seed=9)
+        lam, X = eigh_generalized(A, B)
+        assert np.linalg.norm(X.T @ B @ X - np.eye(n)) < 1e-10
+
+    def test_b_identity_reduces_to_standard(self):
+        n = 18
+        rng = np.random.default_rng(10)
+        A = rng.standard_normal((n, n))
+        A = (A + A.T) / 2
+        lam, _ = eigh_generalized(A, np.eye(n))
+        assert np.max(np.abs(lam - np.linalg.eigvalsh(A))) < 1e-10
+
+    def test_eigenvalues_only(self):
+        A = np.diag([3.0, 1.0])
+        B = np.diag([1.0, 2.0])
+        lam, X = eigh_generalized(A, B, compute_vectors=False)
+        assert X is None
+        assert np.allclose(np.sort(lam), [0.5, 3.0])
+
+    def test_indefinite_b_rejected(self):
+        A = np.eye(3)
+        B = np.diag([1.0, -1.0, 1.0])
+        with pytest.raises(np.linalg.LinAlgError):
+            eigh_generalized(A, B)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            eigh_generalized(np.eye(3), np.eye(4))

@@ -1,0 +1,221 @@
+"""Unit tests for Householder reflectors and WY accumulations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.householder import (
+    WYAccumulator,
+    accumulate_wy,
+    apply_householder_left,
+    apply_householder_right,
+    apply_householder_two_sided,
+    build_q_from_compact_wy,
+    build_q_from_wy,
+    larft,
+    make_householder,
+    merge_wy,
+)
+
+
+def dense_h(v: np.ndarray, tau: float) -> np.ndarray:
+    return np.eye(v.size) - tau * np.outer(v, v)
+
+
+class TestMakeHouseholder:
+    def test_annihilates_tail(self, rng):
+        x = rng.standard_normal(9)
+        v, tau, beta = make_householder(x)
+        y = dense_h(v, tau) @ x
+        assert abs(y[0] - beta) < 1e-14
+        assert np.max(np.abs(y[1:])) < 1e-13
+
+    def test_norm_preserved(self, rng):
+        x = rng.standard_normal(12)
+        _, _, beta = make_householder(x)
+        assert abs(abs(beta) - np.linalg.norm(x)) < 1e-12
+
+    def test_unit_leading_element(self, rng):
+        v, _, _ = make_householder(rng.standard_normal(5))
+        assert v[0] == 1.0
+
+    def test_sign_avoids_cancellation(self):
+        # beta must have the opposite sign of x[0].
+        v, tau, beta = make_householder(np.array([3.0, 4.0]))
+        assert beta == -5.0
+
+    def test_already_annihilated_gives_identity(self):
+        x = np.array([2.5, 0.0, 0.0])
+        v, tau, beta = make_householder(x)
+        assert tau == 0.0
+        assert beta == 2.5
+
+    def test_length_one_vector(self):
+        v, tau, beta = make_householder(np.array([-7.0]))
+        assert tau == 0.0 and beta == -7.0
+
+    def test_reflector_is_orthogonal_and_symmetric(self, rng):
+        v, tau, _ = make_householder(rng.standard_normal(7))
+        H = dense_h(v, tau)
+        assert np.linalg.norm(H @ H - np.eye(7)) < 1e-13
+        assert np.linalg.norm(H - H.T) < 1e-14
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            make_householder(np.zeros(0))
+
+    def test_rejects_matrix_input(self):
+        with pytest.raises(ValueError):
+            make_householder(np.zeros((3, 3)))
+
+
+class TestApplications:
+    def test_left_matches_dense(self, rng):
+        v, tau, _ = make_householder(rng.standard_normal(6))
+        C = rng.standard_normal((6, 4))
+        expect = dense_h(v, tau) @ C
+        apply_householder_left(C, v, tau)
+        assert np.allclose(C, expect, atol=1e-13)
+
+    def test_right_matches_dense(self, rng):
+        v, tau, _ = make_householder(rng.standard_normal(6))
+        C = rng.standard_normal((4, 6))
+        expect = C @ dense_h(v, tau)
+        apply_householder_right(C, v, tau)
+        assert np.allclose(C, expect, atol=1e-13)
+
+    def test_two_sided_matches_dense(self, rng):
+        v, tau, _ = make_householder(rng.standard_normal(6))
+        B = rng.standard_normal((6, 6))
+        B = (B + B.T) / 2
+        H = dense_h(v, tau)
+        expect = H @ B @ H
+        apply_householder_two_sided(B, v, tau)
+        assert np.allclose(B, expect, atol=1e-12)
+
+    def test_two_sided_preserves_symmetry(self, rng):
+        v, tau, _ = make_householder(rng.standard_normal(8))
+        B = rng.standard_normal((8, 8))
+        B = (B + B.T) / 2
+        apply_householder_two_sided(B, v, tau)
+        assert np.linalg.norm(B - B.T) < 1e-13
+
+    def test_tau_zero_is_noop(self, rng):
+        C = rng.standard_normal((5, 5))
+        C0 = C.copy()
+        apply_householder_left(C, np.ones(5), 0.0)
+        apply_householder_right(C, np.ones(5), 0.0)
+        assert np.array_equal(C, C0)
+
+
+class TestWYAccumulator:
+    def test_matches_explicit_product(self, rng):
+        m, k = 10, 4
+        acc = WYAccumulator(m)
+        expect = np.eye(m)
+        for _ in range(k):
+            v, tau, _ = make_householder(rng.standard_normal(m))
+            acc.append(v, tau)
+            expect = expect @ dense_h(v, tau)
+        assert np.allclose(acc.q(), expect, atol=1e-13)
+
+    def test_growth_beyond_capacity(self, rng):
+        acc = WYAccumulator(6, capacity=1)
+        for _ in range(5):
+            v, tau, _ = make_householder(rng.standard_normal(6))
+            acc.append(v, tau)
+        assert acc.k == 5
+        assert acc.W.shape == (6, 5)
+
+    def test_q_is_orthogonal(self, rng):
+        acc = WYAccumulator(8)
+        for _ in range(3):
+            v, tau, _ = make_householder(rng.standard_normal(8))
+            acc.append(v, tau)
+        Q = acc.q()
+        assert np.linalg.norm(Q.T @ Q - np.eye(8)) < 1e-13
+
+    def test_shape_mismatch_rejected(self):
+        acc = WYAccumulator(5)
+        with pytest.raises(ValueError):
+            acc.append(np.ones(4), 1.0)
+
+    def test_accumulate_wy_equivalent(self, rng):
+        m, k = 9, 3
+        V = np.zeros((m, k))
+        taus = np.zeros(k)
+        for j in range(k):
+            v, tau, _ = make_householder(rng.standard_normal(m))
+            V[:, j] = v
+            taus[j] = tau
+        W, Y = accumulate_wy(V, taus)
+        acc = WYAccumulator(m)
+        for j in range(k):
+            acc.append(V[:, j], taus[j])
+        assert np.allclose(W, acc.W) and np.allclose(Y, acc.Y)
+
+
+class TestCompactWY:
+    def test_larft_matches_wy(self, rng):
+        m, k = 12, 4
+        V = np.zeros((m, k))
+        taus = np.zeros(k)
+        A = rng.standard_normal((m, k))
+        # Build proper unit-lower reflectors from a QR-like sweep.
+        for j in range(k):
+            v, tau, _ = make_householder(A[j:, j])
+            V[j:, j] = v
+            taus[j] = tau
+            w = tau * (v @ A[j:, j + 1 :])
+            A[j:, j + 1 :] -= np.outer(v, w)
+        T = larft(V, taus)
+        W, Y = accumulate_wy(V, taus)
+        Q1 = build_q_from_compact_wy(V, T)
+        Q2 = build_q_from_wy(W, Y)
+        assert np.allclose(Q1, Q2, atol=1e-13)
+
+    def test_w_equals_v_times_t(self, rng):
+        m, k = 10, 3
+        V = np.zeros((m, k))
+        taus = np.zeros(k)
+        for j in range(k):
+            x = rng.standard_normal(m - j)
+            v, tau, _ = make_householder(x)
+            V[j:, j] = v
+            taus[j] = tau
+        T = larft(V, taus)
+        W, Y = accumulate_wy(V, taus)
+        assert np.allclose(W, V @ T, atol=1e-13)
+
+    def test_larft_upper_triangular(self, rng):
+        V = np.tril(rng.standard_normal((8, 4)))
+        np.fill_diagonal(V, 1.0)
+        T = larft(V, np.full(4, 0.5))
+        assert np.allclose(T, np.triu(T))
+
+
+class TestMergeWY:
+    def test_merge_equals_product(self, rng):
+        m = 10
+        V1 = np.zeros((m, 2))
+        t1 = np.zeros(2)
+        V2 = np.zeros((m, 3))
+        t2 = np.zeros(3)
+        for j in range(2):
+            V1[:, j], t1[j], _ = make_householder(rng.standard_normal(m))
+        for j in range(3):
+            V2[:, j], t2[j], _ = make_householder(rng.standard_normal(m))
+        W1, Y1 = accumulate_wy(V1, t1)
+        W2, Y2 = accumulate_wy(V2, t2)
+        W, Y = merge_wy(W1, Y1, W2, Y2)
+        expect = build_q_from_wy(W1, Y1) @ build_q_from_wy(W2, Y2)
+        assert np.allclose(build_q_from_wy(W, Y), expect, atol=1e-13)
+
+    def test_merge_widths_add(self, rng):
+        W1 = rng.standard_normal((7, 2))
+        Y1 = rng.standard_normal((7, 2))
+        W2 = rng.standard_normal((7, 3))
+        Y2 = rng.standard_normal((7, 3))
+        W, Y = merge_wy(W1, Y1, W2, Y2)
+        assert W.shape == (7, 5) and Y.shape == (7, 5)

@@ -1,0 +1,98 @@
+"""Unit tests for the panel QR factorization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.householder import build_q_from_wy
+from repro.core.panel_qr import explicit_q, panel_qr, panel_qr_compact, panel_qr_wy
+
+
+class TestPanelQR:
+    def test_r_is_upper_triangular(self, rng):
+        P = rng.standard_normal((12, 5))
+        _, _, R = panel_qr(P)
+        assert np.allclose(R, np.triu(R))
+
+    def test_reconstruction(self, rng):
+        P = rng.standard_normal((10, 4))
+        V, taus, R = panel_qr(P)
+        Q = explicit_q(V, taus)
+        full_r = np.zeros_like(P)
+        full_r[:4] = R
+        assert np.allclose(Q @ full_r, P, atol=1e-13)
+
+    def test_matches_numpy_qr_up_to_signs(self, rng):
+        P = rng.standard_normal((15, 6))
+        _, _, R = panel_qr(P)
+        _, R_np = np.linalg.qr(P)
+        assert np.allclose(np.abs(R), np.abs(R_np), atol=1e-12)
+
+    def test_v_unit_lower_trapezoidal(self, rng):
+        P = rng.standard_normal((9, 3))
+        V, _, _ = panel_qr(P)
+        for j in range(3):
+            assert V[j, j] == 1.0
+            assert np.all(V[:j, j] == 0.0)
+
+    def test_square_panel(self, rng):
+        P = rng.standard_normal((5, 5))
+        V, taus, R = panel_qr(P)
+        Q = explicit_q(V, taus)
+        assert np.allclose(Q @ R, P, atol=1e-13)
+
+    def test_single_column(self, rng):
+        P = rng.standard_normal((8, 1))
+        V, taus, R = panel_qr(P)
+        assert abs(abs(R[0, 0]) - np.linalg.norm(P)) < 1e-13
+
+    def test_wide_panel_rejected(self, rng):
+        with pytest.raises(ValueError):
+            panel_qr(rng.standard_normal((3, 5)))
+
+    def test_input_not_modified(self, rng):
+        P = rng.standard_normal((7, 3))
+        P0 = P.copy()
+        panel_qr(P)
+        assert np.array_equal(P, P0)
+
+    def test_rank_deficient_panel(self, rng):
+        col = rng.standard_normal(8)
+        P = np.column_stack([col, 2 * col, rng.standard_normal(8)])
+        V, taus, R = panel_qr(P)
+        Q = explicit_q(V, taus)
+        full_r = np.zeros_like(P)
+        full_r[:3] = R
+        assert np.allclose(Q @ full_r, P, atol=1e-12)
+        assert abs(R[1, 1]) < 1e-12  # deficiency shows up on the diagonal
+
+
+class TestPanelQRWY:
+    def test_q_orthogonal(self, rng):
+        P = rng.standard_normal((11, 4))
+        W, Y, _ = panel_qr_wy(P)
+        Q = build_q_from_wy(W, Y)
+        assert np.linalg.norm(Q.T @ Q - np.eye(11)) < 1e-13
+
+    def test_qt_panel_is_r(self, rng):
+        P = rng.standard_normal((10, 3))
+        W, Y, R = panel_qr_wy(P)
+        Q = build_q_from_wy(W, Y)
+        top = (Q.T @ P)[:3]
+        assert np.allclose(top, R, atol=1e-12)
+        assert np.max(np.abs((Q.T @ P)[3:])) < 1e-12
+
+
+class TestPanelQRCompact:
+    def test_compact_matches_wy(self, rng):
+        P = rng.standard_normal((13, 5))
+        W, Y, _ = panel_qr_wy(P)
+        V, T, _ = panel_qr_compact(P)
+        assert np.allclose(W, V @ T, atol=1e-12)
+        assert np.allclose(Y, V)
+
+    def test_t_upper_triangular(self, rng):
+        P = rng.standard_normal((9, 4))
+        _, T, _ = panel_qr_compact(P)
+        assert np.allclose(T, np.triu(T))

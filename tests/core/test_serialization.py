@@ -1,0 +1,87 @@
+"""Unit tests for TridiagResult serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import goe
+from repro.core.serialization import load_tridiag, save_tridiag
+from repro.core.tridiag import tridiagonalize
+
+
+@pytest.fixture
+def tmp_npz(tmp_path):
+    return tmp_path / "factor.npz"
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("method", ["dbbr", "sbr", "direct", "tile"])
+    def test_q_application_identical(self, tmp_npz, method, rng):
+        A = goe(48, seed=60)
+        res = tridiagonalize(A, method=method, bandwidth=4, second_block=8)
+        save_tridiag(tmp_npz, res)
+        loaded = load_tridiag(tmp_npz)
+        assert np.array_equal(loaded.d, res.d)
+        assert np.array_equal(loaded.e, res.e)
+        assert loaded.method == res.method
+        X = rng.standard_normal((48, 5))
+        Y1, Y2 = X.copy(), X.copy()
+        res.apply_q(Y1)
+        loaded.apply_q(Y2)
+        assert np.array_equal(Y1, Y2)
+
+    def test_back_transform_settings_preserved(self, tmp_npz):
+        A = goe(30, seed=61)
+        res = tridiagonalize(A, method="sbr", bandwidth=3,
+                             back_transform="recursive", back_transform_group=7)
+        save_tridiag(tmp_npz, res)
+        loaded = load_tridiag(tmp_npz)
+        assert loaded.back_transform_method == "recursive"
+        assert loaded.back_transform_group == 7
+
+    def test_reconstruction_after_reload(self, tmp_npz):
+        from repro.band.storage import dense_from_band
+
+        A = goe(40, seed=62)
+        save_tridiag(tmp_npz, tridiagonalize(A, bandwidth=4, second_block=8))
+        loaded = load_tridiag(tmp_npz)
+        T = dense_from_band(loaded.d, loaded.e)
+        Q = loaded.q()
+        assert np.linalg.norm(Q @ T @ Q.T - A) / np.linalg.norm(A) < 1e-12
+
+    def test_eigenvector_pipeline_from_disk(self, tmp_npz):
+        from repro.eig.dc import dc_eigh
+
+        A = goe(36, seed=63)
+        save_tridiag(tmp_npz, tridiagonalize(A, bandwidth=3, second_block=6))
+        loaded = load_tridiag(tmp_npz)
+        lam, U = dc_eigh(loaded.d, loaded.e)
+        V = np.array(U)
+        loaded.apply_q(V)
+        assert np.linalg.norm(A @ V - V * lam) / np.linalg.norm(A) < 1e-12
+
+    def test_tiny_matrix_no_reflectors(self, tmp_npz):
+        A = goe(2, seed=64)  # already tridiagonal: no panels, no sweeps
+        res = tridiagonalize(A, method="sbr", bandwidth=4)
+        save_tridiag(tmp_npz, res)
+        loaded = load_tridiag(tmp_npz)
+        assert loaded.band_result is not None
+        assert len(loaded.band_result.blocks) == 0
+
+    def test_version_check(self, tmp_npz):
+        A = goe(10, seed=65)
+        save_tridiag(tmp_npz, tridiagonalize(A, bandwidth=2, second_block=4))
+        data = dict(np.load(tmp_npz))
+        data["format_version"] = np.array(99)
+        np.savez_compressed(tmp_npz, **data)
+        with pytest.raises(ValueError):
+            load_tridiag(tmp_npz)
+
+    def test_file_is_compact(self, tmp_npz):
+        n = 64
+        A = goe(n, seed=66)
+        save_tridiag(tmp_npz, tridiagonalize(A, bandwidth=4, second_block=16))
+        # Factors are O(n^2); the archive should stay within a small
+        # multiple of the dense matrix itself.
+        assert tmp_npz.stat().st_size < 12 * n * n * 8

@@ -1,0 +1,144 @@
+"""Unit tests for the syr2k schedules (reference, rectangular, square)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.syr2k import (
+    rect_schedule,
+    square_schedule,
+    symmetrize_lower,
+    syr2k_rect_blocked,
+    syr2k_reference,
+    syr2k_square_blocked,
+)
+
+
+def _inputs(rng, n=40, k=7):
+    C = rng.standard_normal((n, n))
+    C = (C + C.T) / 2
+    A = rng.standard_normal((n, k))
+    B = rng.standard_normal((n, k))
+    return C, A, B
+
+
+class TestNumericalEquivalence:
+    @pytest.mark.parametrize("block", [4, 8, 16, 64])
+    def test_square_matches_reference(self, rng, block):
+        C, A, B = _inputs(rng)
+        expect = syr2k_reference(C, A, B, alpha=-1.0)
+        got = C.copy()
+        syr2k_square_blocked(got, A, B, alpha=-1.0, block=block)
+        assert np.allclose(got, expect, atol=1e-12)
+
+    @pytest.mark.parametrize("block", [4, 16, 100])
+    def test_rect_matches_reference(self, rng, block):
+        C, A, B = _inputs(rng)
+        expect = syr2k_reference(C, A, B, alpha=-1.0)
+        got = C.copy()
+        syr2k_rect_blocked(got, A, B, alpha=-1.0, block=block)
+        assert np.allclose(got, expect, atol=1e-12)
+
+    def test_positive_alpha(self, rng):
+        C, A, B = _inputs(rng, n=20, k=3)
+        expect = syr2k_reference(C, A, B, alpha=2.5)
+        got = C.copy()
+        syr2k_square_blocked(got, A, B, alpha=2.5, block=8)
+        assert np.allclose(got, expect, atol=1e-12)
+
+    def test_result_is_symmetric(self, rng):
+        C, A, B = _inputs(rng, n=33, k=5)
+        syr2k_square_blocked(C, A, B, block=8)
+        assert np.linalg.norm(C - C.T) == 0.0
+
+    def test_non_divisible_sizes(self, rng):
+        C, A, B = _inputs(rng, n=37, k=5)
+        expect = syr2k_reference(C, A, B)
+        got = C.copy()
+        syr2k_square_blocked(got, A, B, block=8)
+        assert np.allclose(got, expect, atol=1e-12)
+
+    def test_shape_mismatch_rejected(self, rng):
+        C, A, B = _inputs(rng)
+        with pytest.raises(ValueError):
+            syr2k_square_blocked(C, A, B[:-1], block=8)
+
+    def test_block_larger_than_n(self, rng):
+        C, A, B = _inputs(rng, n=10, k=2)
+        expect = syr2k_reference(C, A, B)
+        got = C.copy()
+        syr2k_square_blocked(got, A, B, block=64)
+        assert np.allclose(got, expect, atol=1e-12)
+
+
+class TestSquareSchedule:
+    def test_figure7_example_4x4(self):
+        # 4 blocks of the paper's example: 4 diagonal tiles, then the two
+        # unit off-diagonal tiles, then one 2x2-block square.
+        tasks = square_schedule(4 * 16, 16)
+        diag = [t for t in tasks if t.diagonal]
+        off = [t for t in tasks if not t.diagonal]
+        assert len(diag) == 4
+        sizes = sorted((t.m // 16, t.n // 16) for t in off)
+        assert sizes == [(1, 1), (1, 1), (2, 2)]
+
+    def test_tiles_cover_lower_triangle_exactly_once(self):
+        n, block = 96, 16
+        cover = np.zeros((n, n), dtype=int)
+        for t in square_schedule(n, block):
+            tile = cover[t.r0 : t.r1, t.c0 : t.c1]
+            if t.diagonal:
+                ii, jj = np.indices(tile.shape)
+                tile[(ii + t.r0) >= (jj + t.c0)] += 1
+            else:
+                tile += 1
+        lower = np.tril(np.ones((n, n), dtype=int))
+        assert np.array_equal(np.tril(cover), lower)
+        assert np.all(np.triu(cover, 1) == 0)
+
+    def test_tasks_write_disjoint_tiles(self):
+        tasks = square_schedule(128, 16)
+        seen = set()
+        for t in tasks:
+            key = (t.r0, t.r1, t.c0, t.c1)
+            assert key not in seen
+            seen.add(key)
+
+    def test_off_diagonal_tiles_are_square(self):
+        for t in square_schedule(256, 32):
+            if not t.diagonal:
+                assert t.m == t.n
+
+    def test_level_zero_is_diagonal_pass(self):
+        tasks = square_schedule(64, 16)
+        for t in tasks:
+            assert (t.level == 0) == t.diagonal
+
+    def test_invalid_block_rejected(self):
+        with pytest.raises(ValueError):
+            square_schedule(64, 0)
+
+
+class TestRectSchedule:
+    def test_row_panels_cover_lower_triangle(self):
+        n, block = 64, 16
+        tasks = rect_schedule(n, block)
+        assert len(tasks) == 4
+        for i, t in enumerate(tasks):
+            assert t.r0 == i * block and t.c0 == 0 and t.c1 == t.r1
+
+    def test_aspect_ratio_degrades(self):
+        # The skinny-GEMM pathology of Section 5.1: later panels get wider.
+        tasks = rect_schedule(256, 32)
+        ratios = [t.n / t.m for t in tasks]
+        assert ratios == sorted(ratios)
+        assert ratios[-1] == 8.0
+
+
+class TestSymmetrize:
+    def test_symmetrize_lower(self, rng):
+        C = rng.standard_normal((9, 9))
+        symmetrize_lower(C)
+        assert np.array_equal(C, C.T)
+        assert np.array_equal(np.tril(C), np.tril(C))  # lower untouched

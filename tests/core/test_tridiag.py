@@ -1,0 +1,106 @@
+"""Unit tests for the top-level tridiagonalization driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.band.storage import dense_from_band
+from repro.core.tridiag import auto_params, tridiagonalize
+from tests.conftest import make_symmetric
+
+
+class TestDriver:
+    @pytest.mark.parametrize("method", ["dbbr", "sbr", "direct", "tile"])
+    def test_reconstruction(self, method):
+        A = make_symmetric(48, seed=42)
+        res = tridiagonalize(A, method=method, bandwidth=4, second_block=12)
+        T = dense_from_band(res.d, res.e)
+        Q = res.q()
+        assert np.linalg.norm(Q @ T @ Q.T - A) / np.linalg.norm(A) < 1e-12
+
+    @pytest.mark.parametrize("method", ["dbbr", "sbr", "direct", "tile"])
+    def test_same_spectrum_across_methods(self, method):
+        A = make_symmetric(40, seed=43)
+        lam_ref = np.linalg.eigvalsh(A)
+        res = tridiagonalize(A, method=method, bandwidth=3, second_block=9)
+        T = dense_from_band(res.d, res.e)
+        assert np.max(np.abs(np.linalg.eigvalsh(T) - lam_ref)) < 1e-11
+
+    def test_apply_q_matches_materialized(self, rng):
+        A = make_symmetric(30, seed=44)
+        res = tridiagonalize(A, method="dbbr", bandwidth=3, second_block=6)
+        X = rng.standard_normal((30, 4))
+        Y = X.copy()
+        res.apply_q(Y)
+        assert np.allclose(Y, res.q() @ X, atol=1e-12)
+
+    def test_apply_q_transpose_inverts(self, rng):
+        A = make_symmetric(26, seed=45)
+        for method in ["dbbr", "sbr", "direct", "tile"]:
+            res = tridiagonalize(A, method=method, bandwidth=3, second_block=6)
+            X = rng.standard_normal((26, 3))
+            Y = X.copy()
+            res.apply_q(Y)
+            res.apply_q_transpose(Y)
+            assert np.allclose(X, Y, atol=1e-12), method
+
+    def test_pipelined_and_sequential_identical(self):
+        A = make_symmetric(36, seed=46)
+        r1 = tridiagonalize(A, method="dbbr", bandwidth=4, second_block=8, pipelined=True)
+        r2 = tridiagonalize(A, method="dbbr", bandwidth=4, second_block=8, pipelined=False)
+        assert np.array_equal(r1.d, r2.d)
+        assert np.array_equal(r1.e, r2.e)
+
+    def test_pipeline_stats_present_when_pipelined(self):
+        A = make_symmetric(30, seed=47)
+        res = tridiagonalize(A, method="dbbr", bandwidth=3, second_block=6)
+        assert res.pipeline_stats is not None
+        assert res.pipeline_stats.total_tasks > 0
+        res2 = tridiagonalize(A, method="sbr", bandwidth=3, pipelined=False)
+        assert res2.pipeline_stats is None
+
+    def test_max_sweeps_forwarded(self):
+        A = make_symmetric(30, seed=48)
+        res = tridiagonalize(
+            A, method="dbbr", bandwidth=3, second_block=6, max_sweeps=2
+        )
+        assert res.pipeline_stats.max_parallel <= 2
+
+    def test_auto_params(self):
+        A = make_symmetric(64, seed=49)
+        res = tridiagonalize(A)  # everything defaulted
+        assert res.bandwidth >= 1
+        T = dense_from_band(res.d, res.e)
+        assert np.max(
+            np.abs(np.linalg.eigvalsh(T) - np.linalg.eigvalsh(A))
+        ) < 1e-11
+
+    def test_auto_params_contract(self):
+        for n in [8, 50, 300, 5000]:
+            b, k = auto_params(n)
+            assert b >= 2 and k >= b and k % b == 0
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            tridiagonalize(make_symmetric(10), method="quantum")
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            tridiagonalize(np.zeros((3, 4)))
+
+    def test_second_block_rounded_to_multiple(self):
+        A = make_symmetric(40, seed=50)
+        # k=10 with b=4 -> rounded down to 8.
+        res = tridiagonalize(A, method="dbbr", bandwidth=4, second_block=10)
+        T = dense_from_band(res.d, res.e)
+        assert np.max(
+            np.abs(np.linalg.eigvalsh(T) - np.linalg.eigvalsh(A))
+        ) < 1e-11
+
+    def test_back_transform_method_recorded(self):
+        A = make_symmetric(24, seed=51)
+        res = tridiagonalize(
+            A, method="sbr", bandwidth=3, back_transform="recursive"
+        )
+        assert res.back_transform_method == "recursive"

@@ -1,0 +1,85 @@
+"""Unit tests for public-API input validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.bench.workloads import goe
+from repro.core.validation import SymmetryError, check_symmetric
+
+
+class TestCheckSymmetric:
+    def test_passes_symmetric_through(self):
+        A = goe(10, seed=1)
+        B = check_symmetric(A)
+        assert np.array_equal(A, B)
+        assert B is not A  # never aliases
+
+    def test_symmetrizes_roundoff_asymmetry(self):
+        A = goe(10, seed=2)
+        A[3, 4] += 1e-13
+        B = check_symmetric(A)
+        assert np.array_equal(B, B.T)
+
+    def test_rejects_large_asymmetry(self):
+        A = goe(10, seed=3)
+        A[3, 4] += 1.0
+        with pytest.raises(SymmetryError):
+            check_symmetric(A)
+
+    def test_rejects_nan_and_inf(self):
+        A = goe(6, seed=4)
+        A[2, 2] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            check_symmetric(A)
+        A = goe(6, seed=4)
+        A[1, 1] = np.inf
+        with pytest.raises(ValueError):
+            check_symmetric(A)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            check_symmetric(np.zeros((3, 5)))
+
+    def test_rejects_vector(self):
+        with pytest.raises(ValueError):
+            check_symmetric(np.zeros(5))
+
+    def test_custom_tolerance(self):
+        A = goe(8, seed=5)
+        A[0, 1] += 1e-6
+        with pytest.raises(SymmetryError):
+            check_symmetric(A)
+        B = check_symmetric(A, tol=1e-3)
+        assert np.array_equal(B, B.T)
+
+    def test_integer_input_promoted(self):
+        A = np.array([[2, 1], [1, 3]])
+        B = check_symmetric(A)
+        assert B.dtype == np.float64
+
+
+class TestDriversValidate:
+    def test_tridiagonalize_rejects_nan(self):
+        A = goe(12, seed=6)
+        A[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            repro.tridiagonalize(A)
+
+    def test_tridiagonalize_rejects_asymmetric(self):
+        A = np.random.default_rng(7).standard_normal((12, 12))
+        with pytest.raises(SymmetryError):
+            repro.tridiagonalize(A)
+
+    def test_eigh_inherits_validation(self):
+        A = np.random.default_rng(8).standard_normal((10, 10))
+        with pytest.raises(SymmetryError):
+            repro.eigh(A)
+
+    def test_roundoff_asymmetric_input_accepted(self):
+        A = goe(24, seed=9)
+        A[5, 6] += 1e-14
+        res = repro.eigh(A, bandwidth=3, second_block=6)
+        assert res.residual((A + A.T) / 2) < 1e-12

@@ -1,0 +1,77 @@
+"""Unit tests for the implicit-shift QL/QR iteration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.linalg import eigh_tridiagonal
+
+from repro.band.storage import dense_from_band
+from repro.bench.workloads import laplacian_1d, wilkinson_tridiagonal
+from repro.eig.qr_iteration import tridiag_qr_eigh
+
+
+class TestEigenvalues:
+    @pytest.mark.parametrize("n", [1, 2, 3, 10, 64, 150])
+    def test_matches_scipy(self, rng, n):
+        d = rng.standard_normal(n)
+        e = rng.standard_normal(max(n - 1, 0))
+        lam, _ = tridiag_qr_eigh(d, e, compute_vectors=False)
+        lref = eigh_tridiagonal(d, e, eigvals_only=True) if n > 1 else d
+        assert np.max(np.abs(lam - np.sort(lref))) < 1e-12 * max(
+            1, np.max(np.abs(lref))
+        )
+
+    def test_laplacian_analytic_spectrum(self):
+        n = 50
+        d, e = laplacian_1d(n)
+        lam, _ = tridiag_qr_eigh(d, e, compute_vectors=False)
+        expect = 2.0 - 2.0 * np.cos(np.arange(1, n + 1) * np.pi / (n + 1))
+        assert np.max(np.abs(np.sort(lam) - np.sort(expect))) < 1e-12
+
+    def test_wilkinson_pairs(self):
+        d, e = wilkinson_tridiagonal(21)
+        lam, _ = tridiag_qr_eigh(d, e, compute_vectors=False)
+        lref = eigh_tridiagonal(d, e, eigvals_only=True)
+        assert np.max(np.abs(lam - lref)) < 1e-12
+
+    def test_zero_offdiagonal_splits(self):
+        d = np.array([3.0, 1.0, 2.0, 0.5])
+        e = np.array([0.0, 1.0, 0.0])
+        lam, _ = tridiag_qr_eigh(d, e, compute_vectors=False)
+        M = dense_from_band(d, e)
+        assert np.max(np.abs(lam - np.linalg.eigvalsh(M))) < 1e-13
+
+    def test_ascending_order(self, rng):
+        lam, _ = tridiag_qr_eigh(rng.standard_normal(30), rng.standard_normal(29))
+        assert np.all(np.diff(lam) >= 0)
+
+
+class TestEigenvectors:
+    def test_residual_and_orthogonality(self, rng):
+        n = 60
+        d = rng.standard_normal(n)
+        e = rng.standard_normal(n - 1)
+        lam, U = tridiag_qr_eigh(d, e)
+        T = dense_from_band(d, e)
+        assert np.linalg.norm(T @ U - U * lam) / np.linalg.norm(T) < 1e-13
+        assert np.linalg.norm(U.T @ U - np.eye(n)) < 1e-12
+
+    def test_novec_returns_none(self, rng):
+        _, U = tridiag_qr_eigh(rng.standard_normal(10), rng.standard_normal(9),
+                               compute_vectors=False)
+        assert U is None
+
+    def test_input_not_modified(self, rng):
+        d = rng.standard_normal(12)
+        e = rng.standard_normal(11)
+        d0, e0 = d.copy(), e.copy()
+        tridiag_qr_eigh(d, e)
+        assert np.array_equal(d, d0) and np.array_equal(e, e0)
+
+    def test_diagonal_input_identity_vectors(self):
+        d = np.array([5.0, 1.0, 3.0])
+        e = np.zeros(2)
+        lam, U = tridiag_qr_eigh(d, e)
+        assert np.allclose(lam, [1.0, 3.0, 5.0])
+        assert np.allclose(np.abs(U), np.eye(3)[:, [1, 2, 0]])

@@ -1,0 +1,136 @@
+"""Unit tests for the secular equation solver and Gu-Eisenstat refinement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eig.secular import (
+    refine_z,
+    secular_eigenvectors,
+    secular_f,
+    solve_all_roots,
+    solve_secular_root,
+)
+
+
+def random_problem(rng, N=20, zscale=1.0):
+    d = np.sort(rng.standard_normal(N))
+    d += np.arange(N) * 1e-6  # ensure distinct poles
+    z = rng.standard_normal(N) * zscale
+    z[np.abs(z) < 1e-3 * zscale] = 1e-3 * zscale
+    rho = float(abs(rng.standard_normal()) + 0.1)
+    return d, z, rho
+
+
+class TestRoots:
+    def test_interlacing(self, rng):
+        d, z, rho = random_problem(rng)
+        roots = solve_all_roots(d, z, rho)
+        lam = roots.values
+        # rho > 0: d_i < lam_i < d_{i+1} (lam_N beyond d_N).
+        assert np.all(lam[:-1] > d[:-1]) and np.all(lam[:-1] < d[1:])
+        assert lam[-1] > d[-1]
+
+    def test_matches_dense_eigensolver(self, rng):
+        d, z, rho = random_problem(rng, N=30)
+        lam = solve_all_roots(d, z, rho).values
+        lam_ref = np.linalg.eigvalsh(np.diag(d) + rho * np.outer(z, z))
+        assert np.max(np.abs(np.sort(lam) - lam_ref) / (1 + np.abs(lam_ref))) < 1e-13
+
+    def test_residual_of_each_root(self, rng):
+        d, z, rho = random_problem(rng, N=15)
+        z2 = z * z
+        roots = solve_all_roots(d, z, rho)
+        for lam in roots.values:
+            # |f| should be at roundoff of its own evaluation.
+            scale = 1.0 + rho * float(np.sum(np.abs(z2 / (d - lam))))
+            assert abs(secular_f(lam, d, z2, rho)) < 1e-11 * scale
+
+    def test_trace_identity(self, rng):
+        # sum lam = sum d + rho ||z||^2.
+        d, z, rho = random_problem(rng, N=25)
+        lam = solve_all_roots(d, z, rho).values
+        assert abs(np.sum(lam) - (np.sum(d) + rho * float(z @ z))) < 1e-10
+
+    def test_large_z_scale(self, rng):
+        d, z, rho = random_problem(rng, N=20, zscale=1e4)
+        M = np.diag(d) + rho * np.outer(z, z)
+        lam = solve_all_roots(d, z, rho).values
+        lam_ref = np.linalg.eigvalsh(M)
+        # Backward-error normalization: absolute errors scale with ||M||.
+        scale = np.linalg.norm(M)
+        assert np.max(np.abs(np.sort(lam) - lam_ref)) < 1e-13 * scale
+
+    def test_tiny_z_component_root_hugs_pole(self, rng):
+        d = np.array([0.0, 1.0, 2.0])
+        z = np.array([1.0, 1e-10, 1.0])
+        rho = 0.5
+        roots = solve_all_roots(d, z, rho)
+        lam = roots.values
+        # Root 1 sits within ~rho*z^2 of its pole.
+        assert abs(lam[1] - 1.0) < 1e-18
+
+    def test_root_index_bounds(self, rng):
+        d, z, rho = random_problem(rng, N=5)
+        with pytest.raises(IndexError):
+            solve_secular_root(d, z**2, rho, 5)
+
+    def test_negative_rho_rejected(self, rng):
+        d, z, rho = random_problem(rng, N=5)
+        with pytest.raises(ValueError):
+            solve_secular_root(d, z**2, -rho, 0)
+
+    def test_anchor_offset_consistency(self, rng):
+        d, z, rho = random_problem(rng, N=12)
+        roots = solve_all_roots(d, z, rho)
+        lam = roots.values
+        for i in range(12):
+            assert abs(lam[i] - (d[roots.anchors[i]] + roots.offsets[i])) == 0.0
+
+
+class TestRefineZ:
+    def test_refined_close_to_original(self, rng):
+        d, z, rho = random_problem(rng, N=20)
+        roots = solve_all_roots(d, z, rho)
+        zhat = refine_z(roots, z, rho)
+        assert np.max(np.abs(zhat - z) / np.abs(z)) < 1e-8
+
+    def test_signs_preserved(self, rng):
+        d, z, rho = random_problem(rng, N=16)
+        roots = solve_all_roots(d, z, rho)
+        zhat = refine_z(roots, z, rho)
+        assert np.all(np.sign(zhat) == np.sign(z))
+
+    def test_roots_exact_for_refined_problem(self, rng):
+        d, z, rho = random_problem(rng, N=12)
+        roots = solve_all_roots(d, z, rho)
+        zhat = refine_z(roots, z, rho)
+        lam_hat = np.linalg.eigvalsh(np.diag(d) + rho * np.outer(zhat, zhat))
+        assert np.max(np.abs(np.sort(roots.values) - lam_hat)) < 1e-11
+
+
+class TestEigenvectors:
+    def test_orthonormal(self, rng):
+        d, z, rho = random_problem(rng, N=25)
+        roots = solve_all_roots(d, z, rho)
+        U = secular_eigenvectors(roots, refine_z(roots, z, rho))
+        assert np.linalg.norm(U.T @ U - np.eye(25)) < 1e-12
+
+    def test_residual(self, rng):
+        d, z, rho = random_problem(rng, N=25)
+        M = np.diag(d) + rho * np.outer(z, z)
+        roots = solve_all_roots(d, z, rho)
+        U = secular_eigenvectors(roots, refine_z(roots, z, rho))
+        lam = roots.values
+        assert np.linalg.norm(M @ U - U * lam) / np.linalg.norm(M) < 1e-11
+
+    def test_clustered_poles_stay_orthogonal(self, rng):
+        # Poles separated by barely more than deflation tolerances.
+        N = 10
+        d = np.sort(np.concatenate([np.zeros(5), np.ones(5)]) + 1e-7 * np.arange(N))
+        z = rng.standard_normal(N)
+        rho = 1.0
+        roots = solve_all_roots(d, z, rho)
+        U = secular_eigenvectors(roots, refine_z(roots, z, rho))
+        assert np.linalg.norm(U.T @ U - np.eye(N)) < 1e-10

@@ -1,0 +1,128 @@
+"""Unit tests for Sturm counts, bisection, and inverse iteration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.linalg import eigh_tridiagonal
+
+from repro.band.storage import dense_from_band
+from repro.bench.workloads import wilkinson_tridiagonal
+from repro.eig.sturm import (
+    eigh_bisect,
+    eigvals_bisect,
+    inverse_iteration,
+    sturm_count,
+    tridiag_solve_shifted,
+)
+
+
+class TestSturmCount:
+    def test_counts_match_reference(self, rng):
+        n = 30
+        d = rng.standard_normal(n)
+        e = rng.standard_normal(n - 1)
+        lam = eigh_tridiagonal(d, e, eigvals_only=True)
+        shifts = np.array([-10.0, lam[10] + 1e-9, lam[20] + 1e-9, 10.0])
+        counts = sturm_count(d, e, shifts)
+        assert counts[0] == 0
+        assert counts[1] == 11
+        assert counts[2] == 21
+        assert counts[3] == n
+
+    def test_monotone_in_shift(self, rng):
+        d = rng.standard_normal(20)
+        e = rng.standard_normal(19)
+        xs = np.linspace(-5, 5, 40)
+        counts = sturm_count(d, e, xs)
+        assert np.all(np.diff(counts) >= 0)
+
+    def test_scalar_shift(self, rng):
+        d = rng.standard_normal(10)
+        e = rng.standard_normal(9)
+        c = sturm_count(d, e, 0.0)
+        assert c.shape == (1,)
+
+
+class TestBisection:
+    @pytest.mark.parametrize("n", [1, 2, 20, 100])
+    def test_all_eigenvalues(self, rng, n):
+        d = rng.standard_normal(n)
+        e = rng.standard_normal(max(n - 1, 0))
+        lam = eigvals_bisect(d, e)
+        lref = eigh_tridiagonal(d, e, eigvals_only=True) if n > 1 else np.sort(d)
+        assert np.max(np.abs(np.sort(lam) - lref)) < 1e-11
+
+    def test_selected_indices(self, rng):
+        n = 40
+        d = rng.standard_normal(n)
+        e = rng.standard_normal(n - 1)
+        lref = eigh_tridiagonal(d, e, eigvals_only=True)
+        lam = eigvals_bisect(d, e, indices=np.array([0, 5, n - 1]))
+        assert np.max(np.abs(lam - lref[[0, 5, n - 1]])) < 1e-11
+
+    def test_clustered_eigenvalues_resolved(self):
+        d, e = wilkinson_tridiagonal(21)
+        lam = eigvals_bisect(d, e)
+        lref = eigh_tridiagonal(d, e, eigvals_only=True)
+        assert np.max(np.abs(lam - lref)) < 1e-11
+
+
+class TestShiftedSolve:
+    def test_solves_linear_system(self, rng):
+        n = 25
+        d = rng.standard_normal(n) + 5.0
+        e = rng.standard_normal(n - 1)
+        sigma = 0.3
+        x_true = rng.standard_normal(n)
+        T = dense_from_band(d, e)
+        rhs = (T - sigma * np.eye(n)) @ x_true
+        x = tridiag_solve_shifted(d, e, sigma, rhs)
+        assert np.linalg.norm(x - x_true) / np.linalg.norm(x_true) < 1e-10
+
+    def test_pivoting_handles_zero_diagonal(self):
+        # Nonsingular but with zero pivots in the unpivoted elimination.
+        d = np.array([0.0, 0.0, 1.0])
+        e = np.array([1.0, 2.0])
+        T = dense_from_band(d, e)
+        x_true = np.array([0.5, -1.0, 2.0])
+        x = tridiag_solve_shifted(d, e, 0.0, T @ x_true)
+        assert np.linalg.norm(x - x_true) < 1e-12
+
+    def test_near_singular_shift_returns_large_vector(self, rng):
+        n = 12
+        d = rng.standard_normal(n)
+        e = rng.standard_normal(n - 1)
+        lam = eigh_tridiagonal(d, e, eigvals_only=True)
+        x = tridiag_solve_shifted(d, e, float(lam[3]), np.ones(n))
+        assert np.linalg.norm(x) > 1e3  # blow-up toward the eigenvector
+
+
+class TestInverseIteration:
+    def test_recovers_eigenvector(self, rng):
+        n = 30
+        d = rng.standard_normal(n)
+        e = rng.standard_normal(n - 1)
+        lam, U = eigh_tridiagonal(d, e)
+        v = inverse_iteration(d, e, float(lam[7]))
+        overlap = abs(float(v @ U[:, 7]))
+        assert overlap > 1.0 - 1e-10
+
+    def test_full_decomposition(self, rng):
+        n = 40
+        d = rng.standard_normal(n)
+        e = rng.standard_normal(n - 1)
+        lam, U = eigh_bisect(d, e)
+        T = dense_from_band(d, e)
+        assert np.linalg.norm(T @ U - U * lam) / np.linalg.norm(T) < 1e-9
+        assert np.linalg.norm(U.T @ U - np.eye(n)) < 1e-8
+
+    def test_wilkinson_orthogonality(self):
+        d, e = wilkinson_tridiagonal(21)
+        lam, U = eigh_bisect(d, e)
+        assert np.linalg.norm(U.T @ U - np.eye(21)) < 1e-9
+
+    def test_novec_mode(self, rng):
+        lam, U = eigh_bisect(rng.standard_normal(10), rng.standard_normal(9),
+                             compute_vectors=False)
+        assert U is None and lam.size == 10

@@ -1,0 +1,56 @@
+"""Unit tests for the Chrome trace exporter."""
+
+from __future__ import annotations
+
+import json
+
+from repro.gpusim.chrome_trace import chrome_trace_events, export_chrome_trace
+from repro.gpusim.executor import simulate_bc_pipeline
+
+
+class TestChromeTrace:
+    def test_events_shape(self):
+        sim = simulate_bc_pipeline(80, 4, 8, 1e-6)
+        events = chrome_trace_events(sim)
+        slices = [e for e in events if e["ph"] == "X"]
+        assert len(slices) == sim.sweep_start.size
+        for e in slices:
+            assert e["dur"] > 0
+            assert e["ts"] >= 0
+
+    def test_slot_rows_respect_cap(self):
+        S = 6
+        sim = simulate_bc_pipeline(100, 4, S, 1e-6)
+        events = [e for e in chrome_trace_events(sim) if e["ph"] == "X"]
+        tids = {e["tid"] for e in events}
+        assert len(tids) <= S
+
+    def test_no_overlap_within_slot(self):
+        sim = simulate_bc_pipeline(90, 4, 4, 1e-6)
+        rows: dict[int, list[tuple[float, float]]] = {}
+        for e in chrome_trace_events(sim):
+            if e["ph"] != "X":
+                continue
+            rows.setdefault(e["tid"], []).append((e["ts"], e["ts"] + e["dur"]))
+        for spans in rows.values():
+            spans.sort()
+            for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+                assert s2 >= e1 - 1e-6
+
+    def test_sampling_caps_event_count(self):
+        sim = simulate_bc_pipeline(600, 4, 16, 1e-6)
+        events = [e for e in chrome_trace_events(sim, max_sweeps=100)
+                  if e["ph"] == "X"]
+        assert len(events) <= 100 + 1
+
+    def test_export_writes_valid_json(self, tmp_path):
+        sim = simulate_bc_pipeline(60, 4, 4, 1e-6)
+        path = tmp_path / "trace.json"
+        count = export_chrome_trace(sim, path)
+        data = json.loads(path.read_text())
+        assert len(data["traceEvents"]) == count
+        assert any(e["ph"] == "M" for e in data["traceEvents"])
+
+    def test_empty_schedule(self):
+        sim = simulate_bc_pipeline(2, 4, 4, 1e-6)
+        assert chrome_trace_events(sim) == []

@@ -1,0 +1,43 @@
+"""Unit tests for device specs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim.device import CPU_8_CORE, H100, RTX4090, device_by_name
+
+
+class TestPresets:
+    def test_h100_headlines(self):
+        assert H100.fp64_tflops == 67.0
+        assert H100.l2_mb == 50.0
+        assert H100.sm_count == 132
+
+    def test_rtx4090_fp64_is_low(self):
+        assert RTX4090.fp64_tflops == pytest.approx(1.29)
+
+    def test_ridge_points_differ(self):
+        # H100's ridge is ~20 flops/byte; 4090's ~1.3 — the Section 3.2
+        # explanation of why SBR saturates the 4090 but not the H100.
+        assert H100.ridge_flops_per_byte > 15.0
+        assert RTX4090.ridge_flops_per_byte < 2.0
+
+    def test_cpu_threads(self):
+        assert CPU_8_CORE.threads == 8
+
+    def test_with_override(self):
+        dev = H100.with_(l2_mb=10.0)
+        assert dev.l2_mb == 10.0
+        assert H100.l2_mb == 50.0  # frozen original untouched
+
+
+class TestLookup:
+    @pytest.mark.parametrize(
+        "name,expect", [("H100", H100), ("h100-sxm", H100), ("RTX 4090", RTX4090), ("4090", RTX4090)]
+    )
+    def test_by_name(self, name, expect):
+        assert device_by_name(name) is expect
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            device_by_name("mi300")

@@ -1,0 +1,115 @@
+"""Unit tests for the kernel cost models and their paper anchors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim.device import CPU_8_CORE, H100, RTX4090
+from repro.gpusim.kernels import (
+    band_working_set_bytes,
+    batched_gemm_time,
+    bc_task_bytes,
+    bc_task_time_cpu,
+    bc_task_time_gpu,
+    panel_qr_time,
+    symv_time,
+    syr2k_flops,
+    syr2k_tflops,
+    syr2k_time_cublas,
+    syr2k_time_square,
+)
+from repro.models.syr2k_model import PAPER_TABLE1
+
+
+class TestSyr2kModel:
+    def test_table1_anchors_within_tolerance(self):
+        # Model within 35% of every published Table 1 cell.
+        for (dev_name, n), cells in PAPER_TABLE1.items():
+            dev = H100 if "H100" in dev_name else RTX4090
+            for k, paper in cells.items():
+                model = syr2k_tflops(dev, n, k, kind="cublas")
+                assert abs(model - paper) / paper < 0.35, (dev_name, n, k, model)
+
+    def test_rate_monotone_in_k(self):
+        rates = [syr2k_tflops(H100, 32768, k) for k in [16, 64, 256, 1024]]
+        assert rates == sorted(rates)
+
+    def test_cublas_cliff(self):
+        # Figure 8: cuBLAS collapses at n >= 49152; square schedule doesn't.
+        below = syr2k_tflops(H100, 40960, 1024, kind="cublas")
+        above = syr2k_tflops(H100, 57344, 1024, kind="cublas")
+        assert above < 0.6 * below
+        sq_below = syr2k_tflops(H100, 40960, 1024, kind="square")
+        sq_above = syr2k_tflops(H100, 57344, 1024, kind="square")
+        assert sq_above > 0.9 * sq_below
+
+    def test_square_beats_cublas(self):
+        for n in [16384, 32768, 49152, 65536]:
+            assert syr2k_tflops(H100, n, 1024, "square") > syr2k_tflops(
+                H100, n, 1024, "cublas"
+            )
+
+    def test_flops_convention(self):
+        assert syr2k_flops(100, 10) == 2 * 100 * 100 * 10
+
+    def test_zero_sizes(self):
+        assert syr2k_time_cublas(H100, 0, 64) == 0.0
+        assert syr2k_time_square(H100, 64, 0) == 0.0
+
+
+class TestSmallKernels:
+    def test_panel_qr_latency_dominated(self):
+        # b kernel launches dominate for narrow panels.
+        t = panel_qr_time(H100, 4096, 32)
+        assert t > 32 * H100.kernel_overhead_us * 1e-6
+
+    def test_symv_memory_bound(self):
+        t = symv_time(H100, 32768)
+        min_t = 0.5 * 8 * 32768**2 / (H100.mem_bw_gbs * 1e9)
+        assert t > min_t
+
+    def test_batched_gemm_amortizes_launch(self):
+        many = batched_gemm_time(H100, 64, 256, 256, 256)
+        single = 64 * (batched_gemm_time(H100, 1, 256, 256, 256))
+        assert many < single
+
+    def test_zero_count(self):
+        assert batched_gemm_time(H100, 0, 10, 10, 10) == 0.0
+
+
+class TestBCTaskCosts:
+    def test_bytes_scale_with_b_squared(self):
+        assert bc_task_bytes(64) == 4 * bc_task_bytes(32)
+
+    def test_working_set_formula(self):
+        assert band_working_set_bytes(100, 4) == 8 * (100 * 5 - 10)
+
+    def test_naive_task_near_10us_on_h100(self):
+        # The paper's (mislabeled) "10 ms per bulge" anchor, b = 32.
+        dt, S = bc_task_time_gpu(H100, 49152, 32, optimized=False)
+        assert 5e-6 < dt < 20e-6
+        assert S == H100.sm_count
+
+    def test_optimized_has_more_parallel_sweeps(self):
+        _, s_naive = bc_task_time_gpu(H100, 49152, 32, optimized=False)
+        _, s_opt = bc_task_time_gpu(H100, 49152, 32, optimized=True)
+        assert s_opt > s_naive
+
+    def test_optimized_l2_spill(self):
+        # Working set beyond L2 falls back to DRAM bandwidth -> slower.
+        dt_fit, _ = bc_task_time_gpu(H100, 32768, 32, optimized=True)
+        dt_spill, _ = bc_task_time_gpu(H100, 300000, 32, optimized=True)
+        assert dt_spill > dt_fit
+
+    def test_cpu_llc_cliff(self):
+        # The b = 64 -> 128 blow-up of Section 3.2.
+        t64 = bc_task_time_cpu(CPU_8_CORE, 49152, 64)
+        t128 = bc_task_time_cpu(CPU_8_CORE, 49152, 128)
+        assert t128 > 2 * 4 * t64 / 2  # more than the pure 4x byte growth
+
+    def test_4090_optimized_compute_bound(self):
+        # On the 4090 the FP64 term matters (BC "more dependent on
+        # parallelism than computing capacity", Section 6.1).
+        dt, _ = bc_task_time_gpu(RTX4090, 32768, 32, optimized=True)
+        per_warp_flops = RTX4090.fp64_tflops * 1e12 / (RTX4090.sm_count * 4)
+        assert dt > 24.0 * 32 * 32 / per_warp_flops

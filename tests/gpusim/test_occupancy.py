@@ -1,0 +1,84 @@
+"""Unit tests for the SM occupancy calculator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim.device import H100, RTX4090
+from repro.gpusim.occupancy import (
+    MAX_BLOCKS_PER_SM,
+    MAX_WARPS_PER_SM,
+    KernelResources,
+    bc_kernel_resources,
+    bc_sweeps_per_sm,
+    occupancy,
+)
+
+
+class TestOccupancy:
+    def test_warp_limited_kernel(self):
+        res = KernelResources(threads_per_block=1024, registers_per_thread=16,
+                              shared_mem_bytes=0)
+        occ = occupancy(res)
+        assert occ.limiter == "warps"
+        assert occ.blocks_per_sm == 2  # 64 warps / 32 warps-per-block
+
+    def test_register_limited_kernel(self):
+        res = KernelResources(threads_per_block=256, registers_per_thread=255,
+                              shared_mem_bytes=0)
+        occ = occupancy(res)
+        assert occ.limiter == "registers"
+        assert occ.blocks_per_sm == 65536 // (255 * 256)
+
+    def test_shared_mem_limited_kernel(self):
+        res = KernelResources(threads_per_block=32, registers_per_thread=16,
+                              shared_mem_bytes=60 * 1024)
+        occ = occupancy(res)
+        assert occ.limiter == "shared_mem"
+        assert occ.blocks_per_sm == 1
+
+    def test_block_limited_kernel(self):
+        res = KernelResources(threads_per_block=32, registers_per_thread=8,
+                              shared_mem_bytes=0)
+        occ = occupancy(res)
+        assert occ.blocks_per_sm == MAX_BLOCKS_PER_SM
+
+    def test_occupancy_fraction_bounds(self):
+        res = KernelResources(threads_per_block=128, registers_per_thread=64,
+                              shared_mem_bytes=16 * 1024)
+        occ = occupancy(res)
+        assert 0.0 < occ.occupancy_fraction <= 1.0
+        assert occ.warps_per_sm <= MAX_WARPS_PER_SM
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            occupancy(KernelResources(0, 32, 0))
+
+
+class TestBCKernel:
+    def test_paper_config_four_sweeps_per_sm(self):
+        # b = 32 optimized: the warp-per-sweep grouping of Section 5.2
+        # lands at 4 sweeps/SM — the constant the performance model uses.
+        assert bc_sweeps_per_sm(H100, 32, optimized=True) == 4
+
+    def test_naive_fewer_sweeps(self):
+        for b in (16, 32, 64):
+            assert bc_sweeps_per_sm(H100, b, optimized=False) <= bc_sweeps_per_sm(
+                H100, b, optimized=True
+            )
+
+    def test_large_bandwidth_reduces_residency(self):
+        # b = 128 windows are 384 KB: shared memory forces 1 sweep/SM.
+        assert bc_sweeps_per_sm(H100, 128, optimized=True) <= bc_sweeps_per_sm(
+            H100, 32, optimized=True
+        )
+
+    def test_always_at_least_one(self):
+        for b in (8, 32, 128, 256):
+            for opt in (True, False):
+                assert bc_sweeps_per_sm(RTX4090, b, opt) >= 1
+
+    def test_resources_scale_with_bandwidth(self):
+        small = bc_kernel_resources(16, optimized=True)
+        big = bc_kernel_resources(64, optimized=True)
+        assert big.shared_mem_bytes == 16 * small.shared_mem_bytes

@@ -1,0 +1,79 @@
+"""Unit tests for the roofline / sustained-GEMM rate model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim.device import H100, RTX4090
+from repro.gpusim.roofline import (
+    attainable_tflops,
+    gemm_bytes,
+    gemm_time,
+    memory_time,
+    sustained_gemm_tflops,
+)
+
+
+class TestAttainable:
+    def test_memory_bound_region(self):
+        # Below the ridge, rate scales linearly with AI.
+        r1 = attainable_tflops(H100, 1.0)
+        r2 = attainable_tflops(H100, 2.0)
+        assert r2 == pytest.approx(2 * r1)
+
+    def test_compute_bound_region(self):
+        assert attainable_tflops(H100, 1000.0) == H100.fp64_tflops
+
+    def test_4090_saturates_early(self):
+        assert attainable_tflops(RTX4090, 2.0) == RTX4090.fp64_tflops
+
+
+class TestSustainedGemm:
+    def test_monotone_in_k(self):
+        rates = [sustained_gemm_tflops(H100, 32768, 32768, k) for k in
+                 [16, 64, 256, 1024, 4096]]
+        assert rates == sorted(rates)
+
+    def test_never_exceeds_sustained_peak(self):
+        for k in [16, 128, 4096]:
+            assert sustained_gemm_tflops(H100, 32768, 32768, k) <= H100.gemm_peak_tflops
+
+    def test_h100_far_from_peak_at_small_k(self):
+        # The Section 3.2 observation that motivates DBBR.
+        assert sustained_gemm_tflops(H100, 32768, 32768, 64) < 0.25 * H100.fp64_tflops
+
+    def test_4090_saturated_even_at_small_k(self):
+        r = sustained_gemm_tflops(RTX4090, 32768, 32768, 16)
+        assert r > 0.8 * RTX4090.fp64_tflops
+
+    def test_skinny_output_memory_bound(self):
+        # (n x 32) output with huge inner dim: capped by the bw * AI line.
+        r = sustained_gemm_tflops(H100, 32768, 32, 32768)
+        ai = 2.0 * 32768 * 32 * 32768 / gemm_bytes(32768, 32, 32768)
+        assert r <= H100.mem_bw_gbs * 1e9 * ai / 1e12 + 1e-9
+
+    def test_degenerate_dims(self):
+        assert sustained_gemm_tflops(H100, 0, 10, 10) == 0.0
+
+    def test_custom_peak_can_exceed_fp64(self):
+        # INT8-assisted DGEMM on the 4090 (Section 6.1).
+        r = sustained_gemm_tflops(RTX4090, 8192, 8192, 4096, peak_tflops=1.45)
+        assert r > RTX4090.fp64_tflops
+
+
+class TestTimes:
+    def test_gemm_time_positive_and_scales(self):
+        t1 = gemm_time(H100, 8192, 8192, 128)
+        t2 = gemm_time(H100, 16384, 16384, 128)
+        assert 0 < t1 < t2
+
+    def test_zero_work(self):
+        assert gemm_time(H100, 0, 5, 5) == 0.0
+
+    def test_overhead_toggle(self):
+        t_with = gemm_time(H100, 256, 256, 64, include_overhead=True)
+        t_wo = gemm_time(H100, 256, 256, 64, include_overhead=False)
+        assert t_with - t_wo == pytest.approx(H100.kernel_overhead_us * 1e-6)
+
+    def test_memory_time(self):
+        assert memory_time(H100, 3350e9) == pytest.approx(1.0)

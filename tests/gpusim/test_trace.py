@@ -1,0 +1,57 @@
+"""Unit tests for trace/timeline utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.executor import simulate_bc_pipeline
+from repro.gpusim.trace import ascii_gantt, throughput_timeline, utilization
+
+
+class TestThroughputTimeline:
+    def test_peak_scales_with_parallelism(self):
+        r1 = simulate_bc_pipeline(120, 4, 1, 1e-6, bytes_per_task=1e3)
+        r8 = simulate_bc_pipeline(120, 4, 8, 1e-6, bytes_per_task=1e3)
+        t1 = throughput_timeline(r1)
+        t8 = throughput_timeline(r8)
+        assert t8.peak_gbs > 2 * t1.peak_gbs
+
+    def test_mean_consistent_with_total(self):
+        r = simulate_bc_pipeline(100, 4, 4, 1e-6, bytes_per_task=1e3)
+        t = throughput_timeline(r, samples=2048)
+        # Time-averaged instantaneous throughput ~ aggregate throughput.
+        assert abs(t.mean_gbs - r.throughput_gbs) / r.throughput_gbs < 0.3
+
+
+class TestUtilization:
+    def test_bounds(self):
+        r = simulate_bc_pipeline(80, 4, 4, 1.0)
+        u = utilization(r)
+        assert 0.0 < u <= 1.0
+
+    def test_serial_is_fully_utilized(self):
+        r = simulate_bc_pipeline(50, 4, 1, 1.0)
+        assert utilization(r) > 0.99
+
+    def test_oversized_pipeline_underutilized(self):
+        r = simulate_bc_pipeline(50, 4, 1000, 1.0)
+        assert utilization(r) < 0.3
+
+
+class TestGantt:
+    def test_renders_rows(self):
+        r = simulate_bc_pipeline(40, 4, 4, 1.0)
+        text = ascii_gantt(r, width=40, max_rows=10)
+        lines = text.splitlines()
+        assert 1 <= len(lines) <= 11
+        assert all("#" in line for line in lines)
+
+    def test_empty_schedule(self):
+        r = simulate_bc_pipeline(2, 4, 4, 1.0)
+        assert "empty" in ascii_gantt(r)
+
+    def test_later_sweeps_start_later(self):
+        r = simulate_bc_pipeline(60, 4, 8, 1.0)
+        text = ascii_gantt(r, width=60, max_rows=30)
+        indents = [line.index("#") for line in text.splitlines()]
+        assert indents == sorted(indents)

@@ -1,0 +1,91 @@
+"""Cross-pipeline consistency: independent decompositions of the same
+matrix must agree on shared invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.bench.workloads import goe, symmetric_with_spectrum
+from repro.core.extensions import eigh_generalized, eigh_hermitian
+from repro.core.svd import svd
+from repro.eig.jacobi import jacobi_eigh
+
+
+class TestSvdVsEvd:
+    def test_spd_singular_values_are_eigenvalues(self):
+        lam = np.linspace(0.5, 9.0, 40)
+        A = symmetric_with_spectrum(lam, seed=1)
+        s, _, _ = svd(A)
+        res = repro.eigh(A, compute_vectors=False)
+        assert np.max(np.abs(np.sort(s) - res.eigenvalues)) < 1e-10
+
+    def test_indefinite_singular_values_are_abs_eigenvalues(self):
+        A = goe(36, seed=2)
+        s, _, _ = svd(A)
+        res = repro.eigh(A, compute_vectors=False)
+        assert np.max(np.abs(s - np.sort(np.abs(res.eigenvalues))[::-1])) < 1e-10
+
+    def test_gram_matrix_consistency(self):
+        # eig(A^T A) == svd(A)^2 — two fully different pipelines.
+        rng = np.random.default_rng(3)
+        A = rng.standard_normal((30, 18))
+        s, _, _ = svd(A)
+        res = repro.eigh(A.T @ A, compute_vectors=False, bandwidth=3,
+                         second_block=6)
+        lam = np.sort(np.maximum(res.eigenvalues, 0.0))[::-1]
+        assert np.max(np.abs(np.sqrt(lam) - s)) < 1e-9
+
+
+class TestHermitianVsReal:
+    def test_real_matrix_through_both_paths(self):
+        A = goe(28, seed=4)
+        res_real = repro.eigh(A, compute_vectors=False)
+        lam_h, _ = eigh_hermitian(A.astype(complex), compute_vectors=False)
+        assert np.max(np.abs(res_real.eigenvalues - lam_h)) < 1e-10
+
+    def test_jacobi_agrees_with_pipeline(self):
+        A = goe(32, seed=5)
+        lam_j, _ = jacobi_eigh(A, compute_vectors=False)
+        res = repro.eigh(A, compute_vectors=False, bandwidth=4, second_block=8)
+        assert np.max(np.abs(lam_j - res.eigenvalues)) < 1e-10
+
+
+class TestGeneralizedVsStandard:
+    def test_spd_b_scaling_consistency(self):
+        # With B = c*I the generalized eigenvalues are lam(A)/c.
+        A = goe(24, seed=6)
+        c = 4.0
+        lam_gen, _ = eigh_generalized(A, c * np.eye(24), compute_vectors=False)
+        res = repro.eigh(A, compute_vectors=False)
+        assert np.max(np.abs(lam_gen - res.eigenvalues / c)) < 1e-10
+
+    def test_similarity_invariance(self):
+        # eig(A, B) is invariant under congruence by any nonsingular M:
+        # (M^T A M) x = lam (M^T B M) x has the same eigenvalues.
+        rng = np.random.default_rng(7)
+        n = 20
+        A = goe(n, seed=8)
+        Mb = rng.standard_normal((n, n))
+        B = Mb @ Mb.T + n * np.eye(n)
+        M = rng.standard_normal((n, n)) + n * np.eye(n)
+        lam1, _ = eigh_generalized(A, B, compute_vectors=False)
+        lam2, _ = eigh_generalized(M.T @ A @ M, M.T @ B @ M,
+                                   compute_vectors=False)
+        scale = max(np.max(np.abs(lam1)), 1.0)
+        assert np.max(np.abs(lam1 - lam2)) < 1e-8 * scale
+
+
+class TestPartialVsFull:
+    @pytest.mark.parametrize("window", [(0, 4), (20, 29), (35, 39)])
+    def test_partial_matches_full(self, window):
+        A = goe(40, seed=9)
+        full = repro.eigh(A, bandwidth=4, second_block=8)
+        part = repro.eigh_partial(A, window, bandwidth=4, second_block=8)
+        lo, hi = window
+        assert np.max(np.abs(part.eigenvalues - full.eigenvalues[lo : hi + 1])) < 1e-9
+        # Vectors agree up to sign.
+        for j in range(hi - lo + 1):
+            dot = abs(part.eigenvectors[:, j] @ full.eigenvectors[:, lo + j])
+            assert dot > 1.0 - 1e-7

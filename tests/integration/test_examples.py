@@ -1,0 +1,69 @@
+"""Smoke tests: every example script runs end-to-end (small sizes)."""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules[name] = mod
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_quickstart_runs(capsys):
+    mod = _load("quickstart")
+    mod.main(120)
+    out = capsys.readouterr().out
+    assert "proposed" in out and "checks out" in out
+
+
+def test_walkthrough_runs(capsys):
+    mod = _load("two_stage_walkthrough")
+    mod.main()
+    out = capsys.readouterr().out
+    assert "Stage 4" in out and "Pipeline complete" in out
+
+
+def test_spectra_study_runs(capsys):
+    mod = _load("spectra_study")
+    mod.main()
+    out = capsys.readouterr().out
+    assert "uniform" in out and "machine precision" in out
+
+
+@pytest.mark.slow
+def test_gpu_visualization_runs(capsys):
+    mod = _load("gpu_pipeline_visualization")
+    mod.main()
+    out = capsys.readouterr().out
+    assert "Figure 5" in out and "Figure 12" in out
+
+
+def test_partial_spectrum_example_runs(capsys):
+    mod = _load("partial_spectrum_and_reuse")
+    mod.main()
+    out = capsys.readouterr().out
+    assert "eigh_partial" in out and "persisted" in out and "blocked" in out
+
+
+def test_pca_example_runs(capsys):
+    mod = _load("pca_application")
+    mod.main()
+    out = capsys.readouterr().out
+    assert "kernel PCA" in out and "residual" in out
+
+
+def test_beyond_symmetric_example_runs(capsys):
+    mod = _load("beyond_symmetric")
+    mod.main()
+    out = capsys.readouterr().out
+    assert "Hermitian" in out and "Generalized" in out and "SVD" in out

@@ -1,0 +1,110 @@
+"""Unit tests pinning the baseline time models to the paper's anchors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim.device import CPU_8_CORE, H100, RTX4090
+from repro.models import flops as F
+from repro.models.baselines import (
+    cusolver_stedc_time,
+    cusolver_syevd_times,
+    cusolver_sytrd_time,
+    magma_evd_times,
+    magma_ormqr_sbr_time,
+    magma_sb2st_time,
+    magma_stedc_time,
+    magma_sy2sb_time,
+    magma_tridiag_times,
+)
+
+
+class TestCuSolverAnchors:
+    def test_sytrd_two_tflops_on_h100(self):
+        # Figure 4 / Section 1: ~2.0-2.1 TFLOPs at n = 49152.
+        n = 49152
+        t = cusolver_sytrd_time(H100, n)
+        tf = F.tridiag_flops(n) / t / 1e12
+        assert 1.6 < tf < 2.6
+
+    def test_sytrd_fraction_of_evd_dominant(self):
+        # ">97% of EVD time on tridiagonalization" (eigenvalues path).
+        st = cusolver_syevd_times(H100, 49152, compute_vectors=False)
+        assert st.fraction("sytrd") > 0.95
+
+    def test_stedc_33ms_at_8192(self):
+        t = cusolver_stedc_time(H100, 8192, compute_vectors=False)
+        assert t == pytest.approx(33e-3, rel=0.05)
+
+    def test_vectors_add_ormtr_stage(self):
+        novec = cusolver_syevd_times(H100, 16384, False)
+        vec = cusolver_syevd_times(H100, 16384, True)
+        assert "ormtr" in vec.stages and "ormtr" not in novec.stages
+        assert vec.total > novec.total
+
+
+class TestMagmaAnchors:
+    def test_sy2sb_22s_at_49152(self):
+        t = magma_sy2sb_time(H100, 49152, 64)
+        assert t == pytest.approx(22.1, rel=0.25)
+
+    @pytest.mark.parametrize("b,target", [(32, 16.2), (64, 23.9), (128, 84.9)])
+    def test_sb2st_section32_anchors(self, b, target):
+        t = magma_sb2st_time(CPU_8_CORE, 49152, b)
+        assert t == pytest.approx(target, rel=0.15)
+
+    def test_bandwidth_tradeoff(self):
+        # Section 3.2: b = 64 -> 128 makes SBR faster but BC much slower,
+        # and the total worse.
+        sbr64 = magma_sy2sb_time(H100, 49152, 64)
+        sbr128 = magma_sy2sb_time(H100, 49152, 128)
+        bc64 = magma_sb2st_time(CPU_8_CORE, 49152, 64)
+        bc128 = magma_sb2st_time(CPU_8_CORE, 49152, 128)
+        assert sbr128 < sbr64
+        assert bc128 > 2.5 * bc64
+        assert sbr128 + bc128 > sbr64 + bc64
+
+    def test_tridiag_3_4_tflops(self):
+        n = 49152
+        st = magma_tridiag_times(H100, n, b=64)
+        tf = F.tridiag_flops(n) / st.total / 1e12
+        assert 2.7 < tf < 4.5
+
+    def test_bc_roughly_half_of_tridiag(self):
+        # Figure 4: sb2st ~48% of the 2-stage tridiagonalization.
+        st = magma_tridiag_times(H100, 49152, b=64)
+        assert 0.35 < st.fraction("sb2st") < 0.65
+
+    def test_magma_stedc_slower_than_cusolver(self):
+        for n in [8192, 49152]:
+            assert magma_stedc_time(H100, n, False) > cusolver_stedc_time(
+                H100, n, False
+            )
+
+    def test_magma_stedc_248ms_at_8192(self):
+        t = magma_stedc_time(H100, 8192, False)
+        assert t == pytest.approx(248e-3, rel=0.15)
+
+    def test_evd_dc_fraction_small(self):
+        # Figure 4 right: Dstedc ~7.6% of MAGMA EVD (eigenvalues path).
+        st = magma_evd_times(H100, 49152, compute_vectors=False)
+        assert 0.02 < st.fraction("stedc") < 0.15
+
+    def test_ormqr_scales_with_n_cubed(self):
+        t1 = magma_ormqr_sbr_time(H100, 16384, 64)
+        t2 = magma_ormqr_sbr_time(H100, 32768, 64)
+        assert 5.0 < t2 / t1 < 11.0
+
+
+class TestRTX4090:
+    def test_magma_bc_14s_at_32768(self):
+        # Section 6.1: 14327 ms (the CPU does the BC; GPU-independent).
+        t = magma_sb2st_time(CPU_8_CORE, 32768, 64)
+        assert t == pytest.approx(14.3, rel=0.35)
+
+    def test_sy2sb_near_peak_on_4090(self):
+        # Section 3.2: classic SBR is efficient on the 4090.
+        n = 32768
+        t = magma_sy2sb_time(RTX4090, n, 64)
+        tf = F.tridiag_flops(n) / t / 1e12
+        assert tf > 0.3 * RTX4090.fp64_tflops

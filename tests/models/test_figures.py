@@ -1,0 +1,79 @@
+"""Unit tests for the figure-data generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.figures import (
+    figure5,
+    figure8,
+    figure11,
+    figure15,
+    figure16,
+    figure_registry,
+    make_figure,
+    table1,
+)
+
+
+class TestRegistry:
+    def test_all_figures_present(self):
+        reg = figure_registry()
+        assert set(reg) == {
+            "table1", "fig4", "fig5", "fig8", "fig9",
+            "fig11", "fig12", "fig14", "fig15", "fig16",
+        }
+
+    @pytest.mark.parametrize("name", ["table1", "fig4", "fig5", "fig8", "fig9",
+                                      "fig11", "fig12", "fig14", "fig15", "fig16"])
+    def test_every_figure_generates(self, name):
+        data = make_figure(name)
+        assert data.series
+        for s in data.series:
+            assert s.points
+            assert all(y >= 0 for _, y in s.points)
+
+    def test_name_normalization(self):
+        assert make_figure("Figure15").figure == "Figure 15"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_figure("fig3")
+
+
+class TestContent:
+    def test_table1_has_four_series(self):
+        data = table1()
+        assert len(data.series) == 4  # 2 devices x 2 sizes
+
+    def test_figure5_magma_line_flat(self):
+        data = figure5()
+        magma = next(s for s in data.series if "MAGMA" in s.name)
+        ys = [y for _, y in magma.points]
+        assert ys[0] == ys[-1]
+
+    def test_figure8_cliff_visible(self):
+        data = figure8()
+        cublas = next(s for s in data.series if "cuBLAS" in s.name)
+        pts = dict(cublas.points)
+        assert pts[49152] < 0.6 * pts[40960]
+
+    def test_figure11_ordering(self):
+        data = figure11()
+        by_name = {s.name: dict(s.points) for s in data.series}
+        for n in (32768, 49152):
+            assert (by_name["optimized GPU"][n]
+                    < by_name["naive GPU"][n]
+                    < by_name["MAGMA sb2st"][n])
+
+    def test_figure15_tflops_annotation(self):
+        data = figure15()
+        tflops = next(s for s in data.series if "TFLOPs" in s.name)
+        assert max(y for _, y in tflops.points) > 14.0
+
+    def test_figure16_vec_vs_novec(self):
+        novec = figure16(False)
+        vec = figure16(True)
+        ours_n = dict(next(s for s in novec.series if s.name == "proposed").points)
+        ours_v = dict(next(s for s in vec.series if s.name == "proposed").points)
+        assert ours_v[49152] > 3 * ours_n[49152]  # vectors are expensive

@@ -1,0 +1,141 @@
+"""Unit tests pinning the proposed-method time model to the paper's
+headline numbers (Figures 9, 11, 14, 15, 16)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim.device import CPU_8_CORE, H100, RTX4090
+from repro.models import flops as F
+from repro.models.baselines import (
+    cusolver_syevd_times,
+    cusolver_sytrd_time,
+    magma_evd_times,
+    magma_ormqr_sbr_time,
+    magma_sb2st_time,
+    magma_sy2sb_time,
+    magma_tridiag_times,
+)
+from repro.models.proposed import (
+    dbbr_time,
+    gpu_bc_time,
+    proposed_back_transform_time,
+    proposed_evd_times,
+    proposed_tridiag_times,
+)
+
+
+class TestFigure9DBBR:
+    def test_dbbr_beats_sbr_at_same_bandwidth(self):
+        for n in [16384, 32768, 49152]:
+            assert dbbr_time(H100, n, 64, 1024) < magma_sy2sb_time(H100, n, 64)
+
+    def test_large_n_speedup_band(self):
+        # Paper Figure 9: up to 3.1x at b = 64.  Our model lands somewhat
+        # higher (we price the custom-kernel DBBR favorably at b = 64);
+        # the qualitative claim — a multi-x win at large n — holds.
+        s_large = magma_sy2sb_time(H100, 49152, 64) / dbbr_time(H100, 49152, 64, 1024)
+        assert 2.0 < s_large < 7.0
+
+
+class TestFigure11BC:
+    def test_naive_speedup_vs_magma(self):
+        # Paper: up to 5.9x (naive GPU vs MAGMA CPU).
+        n, b = 49152, 32
+        magma = magma_sb2st_time(CPU_8_CORE, n, b)
+        naive = gpu_bc_time(H100, n, b, optimized=False)
+        assert 3.5 < magma / naive < 8.0
+
+    def test_optimized_speedup_vs_magma(self):
+        # Paper: up to 12.5x.
+        n, b = 49152, 32
+        magma = magma_sb2st_time(CPU_8_CORE, n, b)
+        opt = gpu_bc_time(H100, n, b, optimized=True)
+        assert 9.0 < magma / opt < 16.0
+
+    def test_optimized_beats_naive(self):
+        for n in [16384, 32768, 49152]:
+            assert gpu_bc_time(H100, n, 32, True) < gpu_bc_time(H100, n, 32, False)
+
+    def test_4090_bc_anchor(self):
+        # Section 6.1: 1839 ms at n = 32768 (vs MAGMA 14327 ms).
+        t = gpu_bc_time(RTX4090, 32768, 32, optimized=True)
+        assert t == pytest.approx(1.839, rel=0.3)
+
+
+class TestFigure14BackTransform:
+    def test_proposed_faster_than_magma_ormqr(self):
+        # Paper: ~1.6x with k = 2048 at b = 64.
+        for n in [16384, 32768, 49152]:
+            magma = magma_ormqr_sbr_time(H100, n, 64)
+            ours = proposed_back_transform_time(H100, n, 64, 2048)
+            assert 1.1 < magma / ours < 3.0, n
+
+
+class TestFigure15Tridiag:
+    def test_h100_headline_tflops(self):
+        n = 49152
+        st = proposed_tridiag_times(H100, n, 32, 1024)
+        tf = F.tridiag_flops(n) / st.total / 1e12
+        assert 15.0 < tf < 25.0  # paper: up to 19.6
+
+    def test_speedups_vs_baselines(self):
+        n = 49152
+        ours = proposed_tridiag_times(H100, n, 32, 1024).total
+        cu = cusolver_sytrd_time(H100, n)
+        ma = magma_tridiag_times(H100, n, 64).total
+        assert 6.0 < cu / ours < 13.0  # paper: up to 9.3x
+        assert 3.5 < ma / ours < 7.5  # paper: up to 5.2x
+
+    def test_bc_no_longer_the_bottleneck(self):
+        # Section 5.2: after optimization BC is a small share.
+        st = proposed_tridiag_times(H100, 49152, 32, 1024)
+        assert st.fraction("gpu_bc") < 0.35
+
+    def test_4090_exceeds_fp64_peak(self):
+        # Section 6.1: INT8 assist pushes past the 1.29 TFLOPs FP64 peak.
+        n = 32768
+        st = proposed_tridiag_times(RTX4090, n, 32, 1024)
+        tf = F.tridiag_flops(n) / st.total / 1e12
+        assert tf > 0.9 * RTX4090.fp64_tflops
+
+    def test_monotone_speedup_in_n(self):
+        speedups = []
+        for n in [8192, 16384, 32768, 49152]:
+            ours = proposed_tridiag_times(H100, n, 32, 1024).total
+            speedups.append(cusolver_sytrd_time(H100, n) / ours)
+        assert speedups[-1] > speedups[0]
+
+
+class TestFigure16EVD:
+    def test_novec_speedups(self):
+        n = 49152
+        ours = proposed_evd_times(H100, n, False).total
+        cu = cusolver_syevd_times(H100, n, False).total
+        ma = magma_evd_times(H100, n, False).total
+        assert 4.0 < cu / ours < 10.0  # paper: up to 6.1x
+        assert 2.5 < ma / ours < 7.0  # paper: up to 3.8x
+
+    def test_vec_slight_advantage_only(self):
+        # Section 6.2: with eigenvectors the advantage shrinks.
+        n = 49152
+        ours = proposed_evd_times(H100, n, True).total
+        cu = cusolver_syevd_times(H100, n, True).total
+        assert 1.0 < cu / ours < 2.5
+
+    def test_bc_back_dominates_vector_path(self):
+        # Section 6.2: 61% of the proposed EVD with vectors.
+        st = proposed_evd_times(H100, 49152, True)
+        assert 0.45 < st.fraction("bc_back") < 0.75
+
+    def test_small_n_crossover(self):
+        # Below ~8192 cuSOLVER wins the eigenvalues-only race because
+        # MAGMA's Dstedc has a large fixed cost (33 ms vs 248 ms).
+        ours = proposed_evd_times(H100, 4096, False).total
+        cu = cusolver_syevd_times(H100, 4096, False).total
+        assert cu < ours * 1.6  # no big win for us at small n
+
+    def test_tridiag_share_dominant_without_vectors(self):
+        st = proposed_evd_times(H100, 49152, False)
+        tri = st.stages["dbbr"] + st.stages["gpu_bc"]
+        assert tri / st.total > 0.6

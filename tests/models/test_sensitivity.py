@@ -1,0 +1,61 @@
+"""Unit tests: the paper's conclusions survive calibration perturbation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim.device import H100
+from repro.models.sensitivity import (
+    PERTURBABLE_FIELDS,
+    conclusions_hold,
+    headline_metrics,
+    sweep_device_parameter,
+)
+
+
+class TestHeadlineMetrics:
+    def test_baseline_values(self):
+        m = headline_metrics()
+        assert 14.0 < m.tridiag_tflops < 26.0
+        assert m.speedup_vs_cusolver > 6.0
+        assert m.speedup_vs_magma > 3.5
+        assert m.bc_speedup_optimized > 9.0
+
+    def test_all_conclusions_true_at_baseline(self):
+        assert all(headline_metrics().conclusions().values())
+
+
+class TestSweeps:
+    def test_sweep_shapes(self):
+        rows = sweep_device_parameter("gemm_peak_tflops", (0.8, 1.0, 1.2))
+        assert [f for f, _ in rows] == [0.8, 1.0, 1.2]
+        tflops = [m.tridiag_tflops for _, m in rows]
+        # Faster GEMM -> faster proposed tridiagonalization.
+        assert tflops == sorted(tflops)
+
+    def test_bandwidth_hits_everyone(self):
+        # Cutting memory bandwidth slows ours AND cuSOLVER (symv-bound):
+        # the speedup moves less than the raw time.
+        rows = sweep_device_parameter("mem_bw_gbs", (0.7, 1.0))
+        s_lo = rows[0][1].speedup_vs_cusolver
+        s_hi = rows[1][1].speedup_vs_cusolver
+        assert abs(s_lo - s_hi) / s_hi < 0.5
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(KeyError):
+            sweep_device_parameter("sm_count")
+
+
+class TestConclusionsRobust:
+    def test_conclusions_survive_25_percent(self):
+        verdicts = conclusions_hold(factor=0.75)
+        # Ordinal claims must be calibration-robust.
+        assert verdicts["tridiag_faster_than_cusolver"]
+        assert verdicts["tridiag_faster_than_magma"]
+        assert verdicts["tridiag_multix_speedup"]
+        assert verdicts["gpu_bc_beats_magma"]
+        assert verdicts["evd_novec_wins"]
+
+    def test_perturbable_fields_exist_on_spec(self):
+        for field in PERTURBABLE_FIELDS:
+            assert hasattr(H100, field)

@@ -1,0 +1,46 @@
+"""Unit tests for the Table 1 / Figure 8 syr2k series generators."""
+
+from __future__ import annotations
+
+import math
+
+from repro.gpusim.device import H100, RTX4090
+from repro.models.syr2k_model import PAPER_TABLE1, figure8_series, table1_rows
+
+
+class TestTable1:
+    def test_rows_cover_all_ks(self):
+        rows = table1_rows([H100, RTX4090])
+        assert [r.k for r in rows] == [16, 32, 64, 128, 256, 512, 1024, 2048, 4096]
+
+    def test_paper_references_attached(self):
+        rows = table1_rows([H100])
+        for r in rows:
+            assert r.paper[("H100-SXM", 32768)] == PAPER_TABLE1[("H100-SXM", 32768)][r.k]
+
+    def test_model_tracks_paper_trend(self):
+        # Spearman-like check: model ordering across k matches the paper's.
+        rows = table1_rows([H100], ns=(32768,))
+        model = [r.model[("H100-SXM", 32768)] for r in rows]
+        paper = [r.paper[("H100-SXM", 32768)] for r in rows]
+        assert model == sorted(model)
+        assert paper == sorted(paper)
+
+    def test_unknown_device_gets_nan_reference(self):
+        dev = H100.with_(name="H200")
+        rows = table1_rows([dev], ns=(32768,), ks=(64,))
+        assert math.isnan(rows[0].paper[("H200", 32768)])
+
+
+class TestFigure8:
+    def test_cliff_only_in_cublas(self):
+        ns = [8192, 16384, 32768, 49152, 65536]
+        series = figure8_series(H100, ns)
+        cublas = {n: c for n, c, _ in series}
+        square = {n: s for n, _, s in series}
+        assert cublas[49152] < 0.6 * cublas[32768]
+        assert square[49152] > 0.85 * square[32768]
+
+    def test_square_wins_everywhere(self):
+        for _, cublas, square in figure8_series(H100, [8192, 32768, 65536]):
+            assert square > cublas

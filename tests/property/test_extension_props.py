@@ -1,0 +1,118 @@
+"""Hypothesis property tests for SVD, Hermitian, generalized, and
+serialization paths."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.extensions import cholesky_lower, eigh_generalized, eigh_hermitian
+from repro.core.svd import svd
+
+
+@st.composite
+def matrix_shape(draw):
+    m = draw(st.integers(min_value=1, max_value=30))
+    n = draw(st.integers(min_value=1, max_value=m))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return m, n, seed
+
+
+@settings(max_examples=30, deadline=None)
+@given(matrix_shape())
+def test_svd_properties(case):
+    """Singular values nonnegative/descending; thin factors orthonormal;
+    exact reconstruction — for any tall shape, including rank deficiency."""
+    m, n, seed = case
+    rng = np.random.default_rng(seed)
+    r = rng.integers(1, n + 1)
+    A = rng.standard_normal((m, r)) @ rng.standard_normal((r, n))
+    s, U, V = svd(A)
+    assert np.all(s >= 0)
+    assert np.all(np.diff(s) <= 1e-12 * max(s[0], 1.0))
+    norm = max(np.linalg.norm(A), 1e-30)
+    assert np.linalg.norm((U * s) @ V.T - A) / norm < 1e-10
+    assert np.linalg.norm(U.T @ U - np.eye(n)) < 1e-9
+    assert np.linalg.norm(V.T @ V - np.eye(n)) < 1e-9
+    sref = np.linalg.svd(A, compute_uv=False)
+    assert np.max(np.abs(s - sref)) < 1e-10 * max(sref[0], 1.0)
+
+
+@st.composite
+def hermitian_case(draw):
+    n = draw(st.integers(min_value=1, max_value=20))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return n, seed
+
+
+@settings(max_examples=25, deadline=None)
+@given(hermitian_case())
+def test_hermitian_properties(case):
+    """Real eigenvalues, unitary vectors, exact residual for any Hermitian."""
+    n, seed = case
+    rng = np.random.default_rng(seed)
+    G = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+    A = (G + G.conj().T) / 2.0
+    lam, V = eigh_hermitian(A)
+    assert lam.dtype == np.float64
+    norm = max(np.linalg.norm(A), 1e-30)
+    assert np.linalg.norm(A @ V - V * lam) / norm < 1e-9
+    assert np.linalg.norm(V.conj().T @ V - np.eye(n)) < 1e-8
+    assert np.max(np.abs(lam - np.linalg.eigvalsh(A))) < 1e-9 * max(
+        np.max(np.abs(lam)), 1.0
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(hermitian_case())
+def test_generalized_properties(case):
+    """lam/X solve the pencil with B-orthonormal X, for random SPD B."""
+    n, seed = case
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((n, n))
+    A = (A + A.T) / 2.0
+    M = rng.standard_normal((n, n))
+    B = M @ M.T + n * np.eye(n)
+    lam, X = eigh_generalized(A, B)
+    norm = max(np.linalg.norm(A), 1e-30)
+    assert np.linalg.norm(A @ X - B @ X * lam) / norm < 1e-8
+    assert np.linalg.norm(X.T @ B @ X - np.eye(n)) < 1e-8
+    # Cholesky self-check on this B.
+    L = cholesky_lower(B)
+    assert np.linalg.norm(L @ L.T - B) / np.linalg.norm(B) < 1e-12
+
+
+@st.composite
+def tridiag_method(draw):
+    n = draw(st.integers(min_value=6, max_value=40))
+    b = draw(st.integers(min_value=1, max_value=6))
+    method = draw(st.sampled_from(["dbbr", "sbr", "tile", "direct"]))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return n, b, method, seed
+
+
+@settings(max_examples=25, deadline=None)
+@given(tridiag_method())
+def test_serialization_roundtrip_property(case):
+    """save/load preserves the factorization for every method and shape."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.core.serialization import load_tridiag, save_tridiag
+    from repro.core.tridiag import tridiagonalize
+
+    n, b, method, seed = case
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((n, n))
+    A = (A + A.T) / 2.0
+    res = tridiagonalize(A, method=method, bandwidth=b, second_block=2 * b)
+    with tempfile.TemporaryDirectory() as td:
+        path = Path(td) / "f.npz"
+        save_tridiag(path, res)
+        loaded = load_tridiag(path)
+    X = rng.standard_normal((n, 3))
+    Y1, Y2 = X.copy(), X.copy()
+    res.apply_q(Y1)
+    loaded.apply_q(Y2)
+    assert np.array_equal(Y1, Y2)

@@ -1,0 +1,125 @@
+"""Hypothesis property tests for the Householder/WY foundation."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.householder import (
+    WYAccumulator,
+    make_householder,
+    merge_wy,
+)
+from repro.core.panel_qr import explicit_q, panel_qr
+from repro.core.syr2k import syr2k_reference, syr2k_square_blocked
+
+finite_vec = lambda n: hnp.arrays(  # noqa: E731
+    np.float64,
+    n,
+    elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=1, max_value=30).flatmap(finite_vec))
+def test_householder_annihilation_property(x):
+    """For any finite vector: H x = beta e_1, |beta| = ||x||, H orthogonal."""
+    v, tau, beta = make_householder(x)
+    H = np.eye(x.size) - tau * np.outer(v, v)
+    y = H @ x
+    nx = np.linalg.norm(x)
+    assert abs(abs(beta) - nx) <= 1e-12 * max(nx, 1.0)
+    if x.size > 1:
+        assert np.max(np.abs(y[1:])) <= 1e-10 * max(nx, 1.0)
+    assert np.linalg.norm(H @ H.T - np.eye(x.size)) < 1e-12
+
+
+@st.composite
+def reflector_sequence(draw):
+    m = draw(st.integers(min_value=2, max_value=20))
+    k = draw(st.integers(min_value=1, max_value=min(m, 6)))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    return m, [make_householder(rng.standard_normal(m))[:2] for _ in range(k)]
+
+
+@settings(max_examples=50, deadline=None)
+@given(reflector_sequence())
+def test_wy_accumulation_equals_product(case):
+    """I - W Y^T equals the explicit reflector product for any sequence."""
+    m, refs = case
+    acc = WYAccumulator(m)
+    expect = np.eye(m)
+    for v, tau in refs:
+        acc.append(v, tau)
+        expect = expect @ (np.eye(m) - tau * np.outer(v, v))
+    assert np.linalg.norm(acc.q() - expect) < 1e-11
+
+
+@settings(max_examples=40, deadline=None)
+@given(reflector_sequence(), reflector_sequence())
+def test_wy_merge_associativity(case1, case2):
+    """merge(A, B) represents exactly Q_A @ Q_B when dimensions match."""
+    m1, refs1 = case1
+    _, refs2 = case2
+    acc1 = WYAccumulator(m1)
+    acc2 = WYAccumulator(m1)
+    for v, tau in refs1:
+        acc1.append(v, tau)
+    for v, tau in refs2:
+        # Re-derive reflectors of the right length from the seeds of case2.
+        if v.size != m1:
+            v = np.resize(v, m1)
+            v[0] = 1.0
+        acc2.append(v, tau)
+    W, Y = merge_wy(acc1.W, acc1.Y, acc2.W, acc2.Y)
+    Q = np.eye(m1) - W @ Y.T
+    assert np.linalg.norm(Q - acc1.q() @ acc2.q()) < 1e-10
+
+
+@st.composite
+def panel_case(draw):
+    m = draw(st.integers(min_value=1, max_value=24))
+    b = draw(st.integers(min_value=1, max_value=m))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return np.random.default_rng(seed).standard_normal((m, b))
+
+
+@settings(max_examples=50, deadline=None)
+@given(panel_case())
+def test_panel_qr_factorization_property(P):
+    """Q R = P with orthogonal Q and upper-triangular R, for any panel."""
+    m, b = P.shape
+    V, taus, R = panel_qr(P)
+    Q = explicit_q(V, taus)
+    full_r = np.zeros_like(P)
+    full_r[:b] = R
+    assert np.linalg.norm(Q @ full_r - P) < 1e-10 * max(np.linalg.norm(P), 1.0)
+    assert np.linalg.norm(Q.T @ Q - np.eye(m)) < 1e-11
+    assert np.allclose(R, np.triu(R))
+
+
+@st.composite
+def syr2k_case(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    k = draw(st.integers(min_value=1, max_value=8))
+    block = draw(st.integers(min_value=1, max_value=16))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    C = rng.standard_normal((n, n))
+    return (C + C.T) / 2, rng.standard_normal((n, k)), rng.standard_normal((n, k)), block
+
+
+@settings(max_examples=50, deadline=None)
+@given(syr2k_case())
+def test_square_syr2k_matches_reference(case):
+    """The Figure-7 schedule equals the dense formula for every shape and
+    block size."""
+    C, A, B, block = case
+    expect = syr2k_reference(C, A, B, alpha=-1.0)
+    got = C.copy()
+    syr2k_square_blocked(got, A, B, alpha=-1.0, block=block)
+    scale = max(np.linalg.norm(expect), 1.0)
+    assert np.linalg.norm(got - expect) < 1e-11 * scale

@@ -1,0 +1,90 @@
+"""Hypothesis property tests for the pipeline executor and cost models."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.executor import simulate_bc_pipeline, tasks_per_sweep
+from repro.models.bc_model import stall_cycles, successive_bulge_cycles, total_cycles
+
+
+@st.composite
+def pipeline_config(draw):
+    n = draw(st.integers(min_value=5, max_value=400))
+    b = draw(st.integers(min_value=2, max_value=16))
+    s1 = draw(st.integers(min_value=1, max_value=64))
+    s2 = draw(st.integers(min_value=1, max_value=64))
+    return n, b, min(s1, s2), max(s1, s2)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pipeline_config())
+def test_makespan_monotone_in_parallelism(cfg):
+    """More pipeline slots never slow the schedule down."""
+    n, b, s_lo, s_hi = cfg
+    t_lo = simulate_bc_pipeline(n, b, s_lo, 1.0).total_time_s
+    t_hi = simulate_bc_pipeline(n, b, s_hi, 1.0).total_time_s
+    assert t_hi <= t_lo + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(pipeline_config())
+def test_makespan_bounds(cfg):
+    """Serial-work upper bound and critical-path lower bound always hold."""
+    n, b, s, _ = cfg
+    sim = simulate_bc_pipeline(n, b, s, 1.0)
+    counts = tasks_per_sweep(n, b)
+    if counts.size == 0:
+        assert sim.total_time_s == 0.0
+        return
+    assert sim.total_time_s <= sim.total_tasks + 1e-9  # one slot = serial sum
+    assert sim.total_time_s >= counts.max() - 1e-9  # longest sweep is serial
+    if counts.size >= 2:
+        # Law 1: sweep 1 cannot start before sweep 0 finishes its third
+        # bulge (clamped to sweep 0's length when it is shorter).
+        assert sim.sweep_start[1] >= min(3, int(counts[0])) - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(pipeline_config())
+def test_work_conservation(cfg):
+    """Sum of sweep busy spans >= total work; utilization <= 1."""
+    n, b, s, _ = cfg
+    sim = simulate_bc_pipeline(n, b, s, 1.0)
+    if sim.total_tasks == 0:
+        return
+    spans = np.sum(sim.sweep_end - sim.sweep_start)
+    assert spans >= sim.total_tasks - 1e-6  # waiting only adds span
+    assert sim.mean_parallel_sweeps <= s + 1e-9
+
+
+@st.composite
+def model_config(draw):
+    n = draw(st.integers(min_value=64, max_value=100_000))
+    b = draw(st.sampled_from([8, 16, 32, 64, 128]))
+    s = draw(st.integers(min_value=1, max_value=1024))
+    return n, b, s
+
+
+@settings(max_examples=80, deadline=None)
+@given(model_config())
+def test_closed_form_model_properties(cfg):
+    """The Section 3.3 closed form: nonnegative stalls, monotone in S,
+    lower-bounded by the fully-pipelined 3n - 2."""
+    n, b, s = cfg
+    stalls = stall_cycles(n, b, s)
+    assert stalls >= 0.0
+    assert stall_cycles(n, b, s + 1) <= stalls + 1e-6
+    assert total_cycles(n, b, s) >= successive_bulge_cycles(n)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=5, max_value=300), st.integers(min_value=2, max_value=12))
+def test_task_count_consistency(n, b):
+    """Executor task accounting equals the flop-model count."""
+    from repro.models.flops import bc_task_count
+
+    counts = tasks_per_sweep(n, b)
+    assert float(np.sum(counts)) == bc_task_count(n, b)
