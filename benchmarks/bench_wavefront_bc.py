@@ -1,0 +1,143 @@
+"""Wavefront-batched vs per-task bulge chasing — the tentpole speedup.
+
+Both drivers execute the *same* pipelined schedule; the per-task driver
+issues one tiny NumPy call per bulge, the wavefront driver one stacked
+operation per round (:mod:`repro.core.bc_wavefront`).  ``[measured]``
+wall time only — this is a pure software-architecture comparison, no
+simulator involved.  Acceptance gate: >= 3x at n = 1024, b = 16.
+
+Run directly (CI smoke mode finishes in a few seconds):
+
+    PYTHONPATH=src python benchmarks/bench_wavefront_bc.py [--smoke]
+
+Writes ``benchmarks/out/BENCH_wavefront_bc.json`` (full mode only, or
+with ``--json`` forced) so the headline number is a checked-in artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+
+import numpy as np
+
+from repro.band.ops import random_symmetric_band
+from repro.band.storage import LowerBandStorage
+from repro.bench.reporting import banner, print_table, write_json_artifact
+from repro.bench.timing import measure
+from repro.core.bc_pipeline import bulge_chase_pipelined
+from repro.core.bc_wavefront import bulge_chase_wavefront
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+FULL_CASES = [(256, 8), (512, 16), (1024, 16)]
+SMOKE_CASES = [(128, 4), (192, 8)]
+HEADLINE = (1024, 16)  # the >= 3x acceptance case
+
+
+def run_case(n: int, b: int, reps: int) -> dict:
+    """Time both drivers on one band matrix and cross-check numerics."""
+    A = random_symmetric_band(n, b, np.random.default_rng(1234 + n))
+    lb = LowerBandStorage.from_dense(A, b)
+
+    t_wf = measure(lambda: bulge_chase_wavefront(lb), reps=reps)
+    t_pt = measure(lambda: bulge_chase_pipelined(A, b), reps=reps)
+
+    wf, stats = bulge_chase_wavefront(lb)
+    pt, _ = bulge_chase_pipelined(A, b)
+    scale = max(np.max(np.abs(pt.d)), 1.0)
+    dev = max(np.max(np.abs(wf.d - pt.d)), np.max(np.abs(wf.e - pt.e))) / scale
+
+    return {
+        "n": n,
+        "b": b,
+        "per_task_best_s": t_pt.best,
+        "per_task_mean_s": t_pt.mean,
+        "wavefront_best_s": t_wf.best,
+        "wavefront_mean_s": t_wf.mean,
+        "speedup_best": t_pt.best / t_wf.best,
+        "speedup_mean": t_pt.mean / t_wf.mean,
+        "max_rel_deviation": float(dev),
+        "rounds": stats.rounds,
+        "max_parallel": stats.max_parallel,
+        "total_tasks": stats.total_tasks,
+    }
+
+
+def run(smoke: bool = False, reps: int = 3, write_json: bool | None = None) -> dict:
+    cases = SMOKE_CASES if smoke else FULL_CASES
+    print(banner("Wavefront-batched vs per-task bulge chasing", "measured"))
+    rows = [run_case(n, b, reps) for n, b in cases]
+
+    print_table(
+        ["n", "b", "per-task best", "wavefront best", "speedup", "max rel dev"],
+        [
+            [
+                r["n"],
+                r["b"],
+                f"{r['per_task_best_s'] * 1e3:9.1f} ms",
+                f"{r['wavefront_best_s'] * 1e3:9.1f} ms",
+                f"{r['speedup_best']:5.2f}x",
+                f"{r['max_rel_deviation']:.2e}",
+            ]
+            for r in rows
+        ],
+    )
+
+    headline = next(
+        (r for r in rows if (r["n"], r["b"]) == HEADLINE), rows[-1]
+    )
+    payload = {
+        "provenance": "measured",
+        "reps": reps,
+        "smoke": smoke,
+        "headline": {
+            "n": headline["n"],
+            "b": headline["b"],
+            "speedup_best": headline["speedup_best"],
+            "target_speedup": 3.0 if not smoke else None,
+        },
+        "cases": rows,
+    }
+    if write_json if write_json is not None else not smoke:
+        path = write_json_artifact(OUT_DIR, "wavefront_bc", payload)
+        print(f"\nartifact: {path}")
+    print(
+        f"\nheadline: n={headline['n']}, b={headline['b']}: "
+        f"{headline['speedup_best']:.2f}x (best-of-{reps})"
+    )
+    return payload
+
+
+def test_wavefront_speedup_smoke(report):
+    """Benchmark-suite entry: even at smoke scale the batched engine must
+    beat the per-task driver while agreeing numerically."""
+    r = run_case(*SMOKE_CASES[-1], reps=2)
+    report(
+        f"n={r['n']} b={r['b']}: {r['speedup_best']:.2f}x, "
+        f"max rel dev {r['max_rel_deviation']:.2e}"
+    )
+    assert r["speedup_best"] > 1.0
+    assert r["max_rel_deviation"] < 1e-10
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small cases only, no JSON artifact (CI gate)",
+    )
+    ap.add_argument("--reps", type=int, default=3, help="timed repetitions")
+    ap.add_argument(
+        "--json",
+        action="store_true",
+        help="write the JSON artifact even in smoke mode",
+    )
+    args = ap.parse_args(argv)
+    run(smoke=args.smoke, reps=args.reps, write_json=args.json or None)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

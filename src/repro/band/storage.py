@@ -26,6 +26,7 @@ import numpy as np
 __all__ = [
     "LowerBandStorage",
     "PackedBandStorage",
+    "BandWindowBatcher",
     "band_from_dense",
     "dense_from_band",
 ]
@@ -154,6 +155,98 @@ class PackedBandStorage:
     def nbytes(self) -> int:
         """Bytes of the packed band — the L2 working set of Figure 10."""
         return self.data.nbytes
+
+
+class BandWindowBatcher:
+    """Batched symmetric-window gather/scatter over a lower-band array.
+
+    Operates on a ``(depth+1) x n`` working array in the
+    :class:`LowerBandStorage` convention (``data[i, j] == A[j + i, j]``),
+    typically the ``depth = 2b`` band-plus-bulge scratch of a chase in
+    progress.  Given ``S`` window origins ``los`` and one shared width
+    ``w``, :meth:`gather` materializes the stacked dense symmetric windows
+    ``A[lo:lo+w, lo:lo+w]`` as one ``(S, w, w)`` array with a *single*
+    flat-index take (no per-window or per-diagonal Python loop), and
+    :meth:`scatter` writes the stored lower-band entries back the same
+    way.  This is the data-movement half of the wavefront-batched bulge
+    chase: all in-flight windows of a pipeline round move together, the
+    direct NumPy analogue of the paper's one-kernel-per-round execution
+    over the Figure-10 packed band.
+
+    Index templates are cached per width and the ``(S, w, w)`` stacks are
+    served from grown-on-demand buffers, so steady-state rounds allocate
+    nothing.  The returned stack is a view into the shared buffer: consume
+    (and scatter) it before the next ``gather`` of the same width.
+
+    Windows in one batch may overlap only in entries that no caller
+    mutates (for bulge chasing: the untouched diagonal corner shared by
+    windows exactly ``2b``-ish columns apart); scatter then rewrites equal
+    values and any write order is correct.
+    """
+
+    def __init__(self, data: np.ndarray):
+        if (
+            not isinstance(data, np.ndarray)
+            or data.ndim != 2
+            or data.dtype != np.float64
+            or not data.flags.c_contiguous
+        ):
+            raise ValueError(
+                "data must be a C-contiguous float64 (depth+1) x n band array"
+            )
+        self.data = data
+        self.depth = data.shape[0] - 1
+        self.n = data.shape[1]
+        self._flat = data.reshape(-1)
+        self._templates: dict[int, tuple] = {}
+        self._buffers: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    def _template(self, w: int):
+        tpl = self._templates.get(w)
+        if tpl is None:
+            if not (1 <= w <= self.n):
+                raise ValueError(f"window width {w} outside 1..{self.n}")
+            i = np.arange(w)[:, None]
+            j = np.arange(w)[None, :]
+            r = np.abs(i - j)
+            # Dense entry (i, j) of a window at lo lives at
+            # data[|i-j|, lo + min(i, j)]; beyond the stored depth it is 0.
+            gather_flat = np.minimum(r, self.depth) * self.n + np.minimum(i, j)
+            mask = (r <= self.depth).astype(np.float64)
+            si, sj = np.nonzero((i - j >= 0) & (i - j <= self.depth))
+            scatter_flat = (si - sj) * self.n + sj
+            tpl = (gather_flat, mask, si, sj, scatter_flat)
+            self._templates[w] = tpl
+        return tpl
+
+    def _stack_buffers(self, S: int, w: int) -> tuple[np.ndarray, np.ndarray]:
+        bufs = self._buffers.get(w)
+        if bufs is None or bufs[0].shape[0] < S:
+            bufs = (
+                np.empty((S, w, w), dtype=np.int64),
+                np.empty((S, w, w), dtype=np.float64),
+            )
+            self._buffers[w] = bufs
+        return bufs[0][:S], bufs[1][:S]
+
+    def gather(self, los: np.ndarray, w: int) -> np.ndarray:
+        """Stacked dense windows ``A[lo:lo+w, lo:lo+w]`` for each ``lo``.
+
+        Returns a ``(len(los), w, w)`` view into the reused workspace.
+        """
+        los = np.asarray(los, dtype=np.int64)
+        gather_flat, mask, *_ = self._template(w)
+        idx, stack = self._stack_buffers(los.size, w)
+        np.add(gather_flat[None, :, :], los[:, None, None], out=idx)
+        np.take(self._flat, idx, out=stack)
+        np.multiply(stack, mask, out=stack)
+        return stack
+
+    def scatter(self, stack: np.ndarray, los: np.ndarray, w: int) -> None:
+        """Write the stored (lower-band) entries of each window back."""
+        los = np.asarray(los, dtype=np.int64)
+        _, _, si, sj, scatter_flat = self._template(w)
+        self._flat[scatter_flat[None, :] + los[:, None]] = stack[:, si, sj]
 
 
 def band_from_dense(A: np.ndarray, bandwidth: int) -> LowerBandStorage:

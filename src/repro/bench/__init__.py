@@ -3,7 +3,14 @@ table/series printers every benchmark uses to show paper-vs-reproduced
 values with explicit measured/simulated provenance."""
 
 from .plotting import AsciiChart, bar_chart, line_chart
-from .reporting import Series, banner, format_time, print_series, print_table
+from .reporting import (
+    Series,
+    banner,
+    format_time,
+    print_series,
+    print_table,
+    write_json_artifact,
+)
 from .timing import Timing, measure
 from .workloads import (
     clustered_spectrum,
@@ -35,4 +42,5 @@ __all__ = [
     "symmetric_with_spectrum",
     "uniform_spectrum",
     "wilkinson_tridiagonal",
+    "write_json_artifact",
 ]

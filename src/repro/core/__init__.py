@@ -15,6 +15,11 @@ from .bc_back_transform import (
     blocked_q1_blocks,
 )
 from .bc_pipeline import PipelineStats, bulge_chase_pipelined, pipeline_schedule
+from .bc_wavefront import (
+    BCWavefrontGroup,
+    WavefrontBCResult,
+    bulge_chase_wavefront,
+)
 from .blocks import BandReductionResult, WYBlock
 from .bulge_chasing_band import WorkingBand, bulge_chase_band
 from .bulge_chasing import (
@@ -22,6 +27,7 @@ from .bulge_chasing import (
     BCTask,
     BulgeChasingResult,
     apply_bc_task,
+    bc_task_flops,
     bulge_chase,
     num_tasks_in_sweep,
     sweep_tasks,
@@ -42,6 +48,7 @@ from .householder import (
     apply_householder_left,
     apply_householder_right,
     apply_householder_two_sided,
+    batched_make_householder,
     build_q_from_compact_wy,
     build_q_from_wy,
     larft,
@@ -65,6 +72,7 @@ from .syr2k import (
 from .tridiag import TridiagResult, auto_params, tridiagonalize
 
 __all__ = [
+    "BCWavefrontGroup",
     "BCWyBlock",
     "BandReductionResult",
     "BidiagResult",
@@ -78,6 +86,7 @@ __all__ = [
     "TileBandReductionResult",
     "TileReflector",
     "TridiagResult",
+    "WavefrontBCResult",
     "WYAccumulator",
     "WYBlock",
     "accumulate_wy",
@@ -86,6 +95,8 @@ __all__ = [
     "apply_householder_left",
     "apply_householder_right",
     "apply_householder_two_sided",
+    "batched_make_householder",
+    "bc_task_flops",
     "apply_sbr_q",
     "apply_sbr_q_transpose",
     "assemble_eigenvectors",
@@ -98,6 +109,7 @@ __all__ = [
     "bulge_chase",
     "bulge_chase_band",
     "bulge_chase_pipelined",
+    "bulge_chase_wavefront",
     "cholesky_lower",
     "dbbr",
     "direct_tridiagonalize",

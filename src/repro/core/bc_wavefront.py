@@ -1,0 +1,575 @@
+"""Wavefront-batched bulge chasing — each pipeline round as one stacked op.
+
+The pipelined schedule of :mod:`repro.core.bc_pipeline` proves that many
+sweeps can chase bulges concurrently under the ``2b`` spin-lock rule, but
+executing that schedule one task at a time in Python leaves all the
+parallelism on the table: the "pipelined" driver performs the same number
+of tiny NumPy calls as the sequential one and BC dominates every
+wall-clock benchmark (the Figure 4 pathology the paper sets out to fix).
+
+This module executes the schedule the way the paper's GPU does — one wide
+operation per round — on a ``(2b+1) x (n + 3b)`` band-plus-bulge working
+array (:class:`repro.band.storage.LowerBandStorage` convention, with
+``3b`` zero padding columns so edge-clipped tasks keep full geometry).
+The tasks of a round are pairwise data-disjoint (the spin-lock distance
+separates their windows), so each round:
+
+1. **gathers** the entries each task actually touches — the annihilated
+   column and the ``b x (w-1)`` *parallelogram* ``A[row0:row0+b,
+   col:col+w)`` — straight out of the packed band with one flat-index
+   take (symmetric single-copy storage: no mirrored second copy ever
+   moves);
+2. generates the round's reflectors with one **batched Householder**
+   (same arithmetic as
+   :func:`repro.core.householder.batched_make_householder`);
+3. applies the left update to the whole parallelogram stack and the
+   right update to the diagonal-block slice (reading the left-updated
+   values, as the dense kernel's aliased views do) as batched matmuls —
+   the one-kernel-per-round execution of the paper's Algorithm 2, in
+   NumPy dress; and
+4. **scatters** the stacks back through the same cached index template.
+
+Chase tasks (``t >= 1``) and the round's (at most one) sweep-start task
+(``t = 0``) have different window shapes, but both are normalized onto a
+single ``(b, 3b)`` index template — annihilated column first, diagonal
+block last, the narrower start window padded with *dump* columns aimed
+at the never-touched row ``2b`` of the working array — so the whole
+round really is **one** gather / Householder / update / scatter.  Index
+templates are built once, every workspace is preallocated and reused,
+and steady-state rounds allocate almost nothing.
+
+Reflectors stay in stacked form (:class:`BCWavefrontGroup`, one group
+per round), which makes the BC back transformation — the Section 6.2
+bottleneck — batch identically: a round's reflectors act on pairwise
+disjoint row windows, so ``apply_q1`` applies a whole round to the
+eigenvector matrix in one batched rank-1 update instead of ``S`` scalar
+ones.
+
+The result is numerically the same chase as the sequential oracle
+(:func:`repro.core.bulge_chasing.bulge_chase`): the schedule only
+reorders commuting tasks and the batched kernels perform the same
+floating-point work per task up to summation order of the inner products
+(``allclose`` at 1e-12; asserted over the test grid).  The sequential
+driver remains the correctness reference the tests compare against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .bc_pipeline import SAFETY_TASKS, PipelineStats, pipeline_schedule
+from .bulge_chasing import BCReflector, BulgeChasingResult
+from .householder import batched_make_householder
+
+__all__ = [
+    "BCWavefrontGroup",
+    "WavefrontBCResult",
+    "bulge_chase_wavefront",
+]
+
+
+@dataclass
+class BCWavefrontGroup:
+    """Reflectors of one pipeline round, in stacked form.
+
+    Row ``s`` encodes ``H_s = I - tau[s] V[s] V[s]^T`` acting on global
+    rows ``[offsets[s], offsets[s] + V.shape[1])``.  All row windows of a
+    round are pairwise disjoint (the spin-lock rule separates in-flight
+    sweeps by ``>= 2b - 1`` rows), so the ``H_s`` commute and the whole
+    round can be applied as one stacked update.
+
+    Edge-clipped reflectors are zero-padded to the group length, so
+    ``offsets[s] + length`` may exceed ``n``; callers apply groups to a
+    row-padded target (see :meth:`WavefrontBCResult.apply_q1`).
+    """
+
+    offsets: np.ndarray  # (S,) int64 — global first row of each reflector
+    V: np.ndarray  # (S, m) — reflector vectors, V[:, 0] == 1
+    tau: np.ndarray  # (S,)
+    sweeps: np.ndarray  # (S,) int64
+    steps: np.ndarray  # (S,) int64
+
+    @property
+    def size(self) -> int:
+        return self.offsets.size
+
+    @property
+    def length(self) -> int:
+        return self.V.shape[1]
+
+    def apply(self, X: np.ndarray) -> None:
+        """In place ``X <- (prod_s H_s) X`` (order irrelevant: disjoint rows).
+
+        ``X`` must have at least ``offsets.max() + length`` rows.
+        """
+        m = self.V.shape[1]
+        if self.size == 1:
+            off = int(self.offsets[0])
+            v = self.V[0]
+            sub = X[off : off + m, :]
+            sub -= np.outer(float(self.tau[0]) * v, v @ sub)
+            return
+        rows = self.offsets[:, None] + np.arange(m)[None, :]
+        sub = X[rows]  # (S, m, k) gather
+        w = np.matmul(self.V[:, None, :], sub)  # (S, 1, k)
+        sub -= (self.tau[:, None] * self.V)[:, :, None] * w
+        X[rows] = sub
+
+
+class WavefrontBCResult(BulgeChasingResult):
+    """Bulge-chasing result in stacked (wavefront) reflector form.
+
+    Drop-in compatible with :class:`BulgeChasingResult` — ``reflectors``
+    materializes the scalar log lazily (round-major commit order, a valid
+    topological order of the task DAG, with the zero padding of
+    edge-clipped reflectors trimmed off) — while ``apply_q1`` /
+    ``apply_q1_transpose`` replay the stacked groups directly: one batched
+    update per round instead of one rank-1 update per reflector.
+    """
+
+    def __init__(
+        self,
+        d: np.ndarray,
+        e: np.ndarray,
+        round_groups: list[BCWavefrontGroup],
+        flops: float = 0.0,
+        row_pad: int = 0,
+    ):
+        self.d = d
+        self.e = e
+        self.flops = flops
+        self.round_groups = round_groups
+        self.row_pad = row_pad  # max rows a padded reflector hangs past n
+        self._materialized: list[BCReflector] | None = None
+
+    @property
+    def reflectors(self) -> list[BCReflector]:  # type: ignore[override]
+        if self._materialized is None:
+            n = self.d.size
+            refl: list[BCReflector] = []
+            seq = 0
+            for g in self.round_groups:
+                m = g.length
+                for s in range(g.size):
+                    off = int(g.offsets[s])
+                    refl.append(
+                        BCReflector(
+                            sweep=int(g.sweeps[s]),
+                            step=int(g.steps[s]),
+                            offset=off,
+                            v=g.V[s, : min(m, n - off)].copy(),
+                            tau=float(g.tau[s]),
+                            seq=seq,
+                        )
+                    )
+                    seq += 1
+            self._materialized = refl
+        return self._materialized
+
+    @reflectors.setter
+    def reflectors(self, value) -> None:
+        self._materialized = list(value) if value is not None else None
+
+    @property
+    def num_reflectors(self) -> int:
+        """Reflector count without materializing the scalar log."""
+        return sum(g.size for g in self.round_groups)
+
+    def _replay(self, X: np.ndarray, reverse: bool) -> None:
+        n = X.shape[0]
+        pad = self.row_pad
+        if pad:
+            Xw = np.zeros((n + pad, X.shape[1]), dtype=np.float64)
+            Xw[:n] = X
+        else:
+            Xw = X
+        groups = reversed(self.round_groups) if reverse else self.round_groups
+        for g in groups:
+            g.apply(Xw)
+        if pad:
+            X[:] = Xw[:n]
+
+    def apply_q1(self, X: np.ndarray) -> None:
+        """In place ``X <- Q1 X``, one batched update per round.
+
+        ``Q1`` is the seq-ordered reflector product, so rounds are applied
+        in reverse; within a round the reflectors commute (disjoint rows)
+        and go on in one stacked operation — the wavefront batching of the
+        BC back transformation.
+        """
+        self._replay(X, reverse=True)
+
+    def apply_q1_transpose(self, X: np.ndarray) -> None:
+        """In place ``X <- Q1^T X`` (forward round order)."""
+        self._replay(X, reverse=False)
+
+
+class _RoundKernel:
+    """Index templates + reused workspaces for one round's stacked tasks.
+
+    A task's window, relative to its annihilated column ``col``, is the
+    reflector-row strip ``[col+sl, col+sl+b)`` over columns ``[col,
+    col+wn)``: sweep-start tasks have ``(sl, wn) = (1, 2b+1)``, chase
+    tasks ``(b, 3b)`` — uniform at every edge because the working band
+    carries ``3b`` zero padding columns, so clipped tasks read/write
+    zeros beyond ``n`` with no effect (their reflector tails come out
+    zero).
+
+    Window entry ``(i, j) = A[col+sl+i, col+j]``; by symmetry the stored
+    copy sits at flat ``|sl+i-j| * npad + col + min(sl+i, j)``.  Both
+    geometries are normalized onto one ``(b, 3b)`` template so a round is
+    one stacked call:
+
+    * column 0 is the annihilated column (one gather serves the batched
+      Householder and the update);
+    * the diagonal-block columns are permuted to the *end* — the right
+      update then hits a contiguous trailing slice (the gather does not
+      care about column order);
+    * the narrower start template is padded with *dump* columns aimed at
+      row ``2b`` of the working array, which no task ever touches (fill
+      depth is at most ``2b - 1``): they gather zeros, update to zeros,
+      and scatter zeros back.
+
+    Templates are int64 — fancy indexing recasts anything narrower to
+    intp on every call — and all workspaces are preallocated and reused.
+    """
+
+    def __init__(self, b: int, npad: int):
+        self.b = b
+        self.w = 3 * b
+        self._dump = 2 * b * npad  # flat slot in the never-touched row 2b
+        self.chase_tmpl = self._template(npad, sl=b, wn=3 * b)
+        self.start_tmpl = self._template(npad, sl=1, wn=2 * b + 1)
+        self._cap = 0
+
+    def _template(self, npad: int, sl: int, wn: int) -> np.ndarray:
+        b, w = self.b, self.w
+        i = np.arange(b, dtype=np.int64)[:, None]
+        j = np.arange(wn, dtype=np.int64)[None, :]
+        tm = np.abs(sl + i - j) * npad + np.minimum(sl + i, j)
+        cols = [0] + [c for c in range(1, wn) if not sl <= c < sl + b]
+        full = np.full((b, w), self._dump, dtype=np.int64)
+        full[:, : len(cols)] = tm[:, cols]
+        full[:, w - b :] = tm[:, sl : sl + b]  # diagonal block, last
+        return full
+
+    def _grow(self, S: int) -> None:
+        if S > self._cap:
+            b, w = self.b, self.w
+            self._pi = np.empty((S, b, w), dtype=np.int64)
+            self._pv = np.empty((S, b, w), dtype=np.float64)
+            self._wr = np.empty((S, 1, w), dtype=np.float64)
+            self._u = np.empty((S, b, 1), dtype=np.float64)
+            self._tmp = np.empty((S, b, w), dtype=np.float64)
+            self._hv = np.empty((S, b), dtype=np.float64)
+            self._hv[:, 0] = 1.0
+            self._tv = np.empty((S, b), dtype=np.float64)
+            self._sg = np.empty((S, 1, 1), dtype=np.float64)
+            self._cap = S
+
+    def run(
+        self, flat: np.ndarray, chase_los: np.ndarray, start_lo: int | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Execute one round — chase stack plus optional start task.
+
+        Returns ``(V, tau)`` with the chase reflectors first (sweep
+        ascending, as the scheduler orders them) and the start reflector
+        last.  Mirrors :func:`repro.core.bulge_chasing.apply_bc_task`:
+        annihilate the column, left-update the full parallelogram, then
+        right-update the diagonal block reading the left-updated values.
+        (The left update also touches gathered column 0, whose final
+        value — ``beta e_1`` — is simply written over it before the
+        scatter.)
+        """
+        nc = chase_los.size
+        S = nc + (start_lo is not None)
+        if S == 1:
+            if nc:
+                return self._run_one(flat, self.chase_tmpl, int(chase_los[0]))
+            return self._run_one(flat, self.start_tmpl, start_lo)
+        self._grow(S)
+        b, w = self.b, self.w
+
+        pi = self._pi[:S]
+        np.add(self.chase_tmpl[None, :, :], chase_los[:, None, None], out=pi[:nc])
+        if start_lo is not None:
+            np.add(self.start_tmpl, start_lo, out=pi[nc])
+        P = self._pv[:S]
+        flat.take(pi, out=P)
+
+        # Batched Householder on the gathered columns, on preallocated
+        # buffers; the guarded general kernel handles the rare
+        # already-annihilated (sigma == 0) rows.
+        X1 = P[:, 1:, 0]
+        sg = self._sg[:S]
+        np.matmul(X1[:, None, :], X1[:, :, None], out=sg)  # batched dot
+        sigma = sg[:, 0, 0]
+        alpha = P[:, 0, 0].copy()
+        if sigma.all():
+            beta = -np.copysign(np.sqrt(alpha * alpha + sigma), alpha)
+            Vbuf = self._hv[:S]  # Vbuf[:, 0] stays 1.0 from _grow
+            np.divide(X1, (alpha - beta)[:, None], out=Vbuf[:, 1:])
+            tau = (beta - alpha) / beta
+            # Groups keep the reflectors past this round: hand out a copy,
+            # use the buffer for the in-round math.
+            V = Vbuf.copy()
+        else:
+            V, tau, beta = batched_make_householder(P[:, :, 0].copy())
+        tv = self._tv[:S]
+        np.multiply(tau[:, None], V, out=tv)
+
+        wr = self._wr[:S]
+        np.matmul(V[:, None, :], P, out=wr)  # (S, 1, w)
+        tmp = self._tmp[:S]
+        np.multiply(tv[:, :, None], wr, out=tmp)
+        np.subtract(P, tmp, out=P)
+
+        D = P[:, :, w - b :]  # diagonal block, contiguous tail
+        u = self._u[:S]
+        np.matmul(D, V[:, :, None], out=u)  # (S, b, 1)
+        tmpD = tmp[:, :, w - b :]
+        np.multiply(u, tv[:, None, :], out=tmpD)
+        np.subtract(D, tmpD, out=D)
+
+        P[:, :, 0] = 0.0
+        P[:, 0, 0] = beta
+        flat[pi] = P
+        return V, tau
+
+    def _run_one(
+        self, flat: np.ndarray, tmpl: np.ndarray, lo: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Scalar fast path: one task, plain 2-D ops, no stacked machinery."""
+        b, w = self.b, self.w
+        pi = tmpl + lo
+        P = flat[pi]
+        # Scalar Householder on column 0 (same arithmetic as
+        # :func:`repro.core.householder.make_householder`).
+        x1 = P[1:, 0]
+        sigma = x1 @ x1
+        alpha = P[0, 0]
+        v = np.empty(b, dtype=np.float64)
+        v[0] = 1.0
+        if sigma != 0.0:
+            beta = -np.copysign(np.sqrt(alpha * alpha + sigma), alpha)
+            np.divide(x1, alpha - beta, out=v[1:])
+            tau = (beta - alpha) / beta
+        else:
+            v[1:] = 0.0
+            tau, beta = 0.0, alpha
+        tv = tau * v
+        P -= tv[:, None] * (v @ P)[None, :]
+        D = P[:, w - b :]
+        D -= (D @ v)[:, None] * tv[None, :]
+        P[:, 0] = 0.0
+        P[0, 0] = beta
+        flat[pi] = P
+        return v[None, :], np.array([tau])
+
+
+def _total_chase_flops(n: int, b: int) -> float:
+    """Flop total of a full chase — ``sum(bc_task_flops)`` vectorized.
+
+    Every driver charges ``8 * length * (hi - lo)`` per task
+    (:func:`repro.core.bulge_chasing.bc_task_flops`); the terms are small
+    integers, so the float64 sum is exact and order-independent — the
+    drivers' reported ``flops`` compare equal.
+    """
+    if b < 2 or n < 3:
+        return 0.0
+    i = np.arange(n - 2, dtype=np.int64)
+    # t = 0: reflector rows [i+1, min(i+1+b, n)), window [i, min(row1+b, n)).
+    row1 = np.minimum(i + 1 + b, n)
+    total = np.sum(8.0 * (row1 - (i + 1)) * (np.minimum(row1 + b, n) - i))
+    # t >= 1: col = i+1+(t-1)b exists while length >= 2, i.e. i <= n-3-t*b.
+    for t in range(1, (n - 3) // b + 1):
+        i = np.arange(n - 2 - t * b, dtype=np.int64)
+        col = i + 1 + (t - 1) * b
+        row1 = np.minimum(col + 2 * b, n)
+        total += np.sum(8.0 * (row1 - (col + b)) * (np.minimum(row1 + b, n) - col))
+    return float(total)
+
+
+def _unbounded_schedule_arrays(
+    n: int, b: int
+) -> tuple[np.ndarray, np.ndarray, int, PipelineStats]:
+    """Closed form of ``pipeline_schedule(n, b, None)``.
+
+    With no in-flight cap a sweep never stalls, so sweep ``i`` runs task
+    ``t`` in round ``starts[i] + t`` where ``starts[i] - starts[i-1]`` is
+    the safety distance ``min(SAFETY_TASKS, ntasks[i-1])`` (a predecessor
+    that finishes early releases its successor early).  Returns
+    ``(starts, ntasks, total_rounds, stats)``; equality with the generic
+    scheduler is asserted by the tests.
+    """
+    nsweeps = n - 2
+    ntasks = 1 + (n - 3 - np.arange(nsweeps, dtype=np.int64)) // b
+    starts = np.zeros(nsweeps, dtype=np.int64)
+    np.cumsum(np.minimum(SAFETY_TASKS, ntasks)[:-1], out=starts[1:])
+    total_rounds = int(starts[-1] + ntasks[-1])
+    stats = PipelineStats(total_tasks=int(ntasks.sum()))
+    return starts, ntasks, total_rounds, stats
+
+
+def bulge_chase_wavefront(
+    band, b: int | None = None, max_sweeps: int | None = None
+) -> tuple[WavefrontBCResult, PipelineStats]:
+    """Wavefront-batched bulge chasing of a symmetric band matrix.
+
+    Executes the pipelined multi-sweep schedule with each round's tasks
+    gathered, reflected, updated and scattered as one stacked NumPy
+    operation over the ``(2b+1) x n`` working band — the default BC path
+    of :func:`repro.core.tridiag.tridiagonalize`.
+
+    Parameters
+    ----------
+    band : LowerBandStorage | PackedBandStorage | (n, n) ndarray
+        Symmetric band matrix (dense input requires ``b``).
+    b : int, optional
+        Bandwidth (taken from the storage object when given).
+    max_sweeps : int, optional
+        In-flight sweep cap ``S`` (None = unbounded).  The unbounded
+        schedule is generated in closed form; a cap routes through
+        :func:`repro.core.bc_pipeline.pipeline_schedule`.
+
+    Returns
+    -------
+    (result, stats)
+        ``result`` matches the sequential oracle
+        :func:`repro.core.bulge_chasing.bulge_chase` to 1e-12 and carries
+        the reflectors in stacked form; ``stats`` is the same pipeline
+        schedule statistic the per-task driver reports.
+    """
+    from .bulge_chasing_band import _coerce_band
+
+    lb = _coerce_band(band, b)
+    bw, n = lb.b, lb.n
+    if bw < 1:
+        raise ValueError("bandwidth must be >= 1")
+    # 3b zero padding columns give every task full uniform geometry; the
+    # padded region only ever sees zero arithmetic, so it stays zero.
+    npad = n + 3 * bw
+    work = np.zeros((2 * bw + 1, npad), dtype=np.float64)
+    work[: bw + 1, :n] = lb.ab
+    # The kernels rely on out-of-matrix slots reading 0; enforce the
+    # storage contract on the trailing entries (ab[i, j], i + j >= n).
+    for i in range(1, bw + 1):
+        work[i, n - i : n] = 0.0
+    flat = work.reshape(-1)
+
+    round_groups: list[BCWavefrontGroup] = []
+    flops = 0.0
+    if bw >= 2 and n >= 3:
+        flops = _total_chase_flops(n, bw)
+        kernel = _RoundKernel(bw, npad)
+
+        def run_round(
+            chase_los: np.ndarray,
+            chase_sweeps: np.ndarray,
+            chase_steps: np.ndarray,
+            start_sweep: int | None,
+        ) -> None:
+            V, tau = kernel.run(flat, chase_los, start_sweep)
+            nc = chase_los.size
+            if start_sweep is not None:
+                # Start task rides last in the stack — the commit order
+                # within a round stays sweep-ascending.
+                offsets = np.empty(nc + 1, dtype=np.int64)
+                offsets[:nc] = chase_los
+                offsets[:nc] += bw
+                offsets[nc] = start_sweep + 1
+                sweeps = np.empty(nc + 1, dtype=np.int64)
+                sweeps[:nc] = chase_sweeps
+                sweeps[nc] = start_sweep
+                steps = np.empty(nc + 1, dtype=np.int64)
+                steps[:nc] = chase_steps
+                steps[nc] = 0
+            else:
+                offsets = chase_los + bw
+                sweeps = chase_sweeps
+                steps = chase_steps
+            round_groups.append(
+                BCWavefrontGroup(
+                    offsets=offsets, V=V, tau=tau, sweeps=sweeps, steps=steps
+                )
+            )
+
+        if max_sweeps is None:
+            starts, ntasks, total_rounds, stats = _unbounded_schedule_arrays(n, bw)
+            nsweeps = starts.size
+            fin = starts + ntasks - 1
+            # Active sweeps of round r are the contiguous run with
+            # starts[i] <= r <= fin[i] (both arrays increase); the round
+            # sizes fall out of two vectorized searchsorted passes.
+            r_idx = np.arange(total_rounds)
+            occ = np.searchsorted(starts, r_idx, side="right") - np.searchsorted(
+                fin, r_idx
+            )
+            # start_of[r] = the sweep starting in round r, else -1.
+            start_of = np.full(total_rounds, -1, dtype=np.int64)
+            start_of[starts] = np.arange(nsweeps)
+            start_of = start_of.tolist()
+            # Flat sweep-major task arrays (sweep, step, round, col), then
+            # a stable sort by round: per-round inputs become views of the
+            # sorted arrays — the loop itself allocates nothing.  Stable
+            # keeps sweeps ascending within a round, so the (at most one)
+            # start task — the newest, largest active sweep — lands last
+            # in its segment.
+            reps = np.repeat(np.arange(nsweeps, dtype=np.int64), ntasks)
+            steps = np.arange(reps.size) - np.repeat(
+                np.cumsum(ntasks) - ntasks, ntasks
+            )
+            rounds_rep = np.repeat(starts, ntasks) + steps
+            order = np.argsort(rounds_rep, kind="stable")
+            sw_sorted = reps[order]
+            st_sorted = steps[order]
+            co_sorted = (reps + 1 + (steps - 1) * bw)[order]  # chase columns
+            bounds = np.zeros(total_rounds + 1, dtype=np.int64)
+            np.cumsum(occ, out=bounds[1:])
+            bounds = bounds.tolist()
+            for r in range(total_rounds):
+                lo_t = bounds[r]
+                hi_t = bounds[r + 1]
+                start_sweep = start_of[r]
+                hi_c = hi_t - 1 if start_sweep >= 0 else hi_t
+                run_round(
+                    co_sorted[lo_t:hi_c],
+                    sw_sorted[lo_t:hi_c],
+                    st_sorted[lo_t:hi_c],
+                    start_sweep if start_sweep >= 0 else None,
+                )
+            stats.rounds = total_rounds
+            stats.occupancy = occ.tolist()
+            stats.max_parallel = int(occ.max(initial=0))
+            # task_rounds[(i, t)] = starts[i] + t, built in one shot.
+            stats.task_rounds = dict(
+                zip(
+                    zip(reps.tolist(), steps.tolist()),
+                    rounds_rep.tolist(),
+                )
+            )
+        else:
+            rounds, stats = pipeline_schedule(n, bw, max_sweeps)
+            for round_tasks in rounds:
+                chase = [t for t in round_tasks if t.step > 0]
+                nc = len(chase)
+                start = [t for t in round_tasks if t.step == 0]
+                run_round(
+                    np.fromiter((t.col for t in chase), np.int64, count=nc),
+                    np.fromiter((t.sweep for t in chase), np.int64, count=nc),
+                    np.fromiter((t.step for t in chase), np.int64, count=nc),
+                    start[0].sweep if start else None,
+                )
+    else:
+        stats = PipelineStats()
+
+    d = work[0, :n].copy()
+    e = work[1, : n - 1].copy()
+    return (
+        WavefrontBCResult(
+            d=d, e=e, round_groups=round_groups, flops=flops, row_pad=bw
+        ),
+        stats,
+    )

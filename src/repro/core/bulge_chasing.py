@@ -43,6 +43,7 @@ __all__ = [
     "sweep_tasks",
     "num_tasks_in_sweep",
     "task_window",
+    "bc_task_flops",
     "apply_bc_task",
     "bulge_chase",
 ]
@@ -99,6 +100,23 @@ class BulgeChasingResult:
     def n(self) -> int:
         return self.d.size
 
+    def _committed(self) -> list[BCReflector]:
+        """The reflector log, verified to already be in ``seq`` order.
+
+        Every driver commits reflectors in ascending ``seq`` order, so the
+        back transformation can walk the list directly instead of
+        re-sorting the full log on every call.  The monotonicity contract
+        is asserted once per result and cached.
+        """
+        if not getattr(self, "_seq_checked", False):
+            seqs = [r.seq for r in self.reflectors]
+            if any(b <= a for a, b in zip(seqs, seqs[1:])):
+                raise AssertionError(
+                    "reflector log is not in commit (seq) order"
+                )
+            self._seq_checked = True
+        return self.reflectors
+
     def apply_q1(self, X: np.ndarray) -> None:
         """In place ``X <- Q1 X``.
 
@@ -107,13 +125,13 @@ class BulgeChasingResult:
         transformation: cost ``O(n^2 * n/b)`` fused small updates, the
         bottleneck the paper leaves as future work.
         """
-        for r in sorted(self.reflectors, key=lambda r: r.seq, reverse=True):
+        for r in reversed(self._committed()):
             sub = X[r.offset : r.offset + r.v.size, :]
             sub -= np.outer(r.tau * r.v, r.v @ sub)
 
     def apply_q1_transpose(self, X: np.ndarray) -> None:
         """In place ``X <- Q1^T X`` (forward commit order)."""
-        for r in sorted(self.reflectors, key=lambda r: r.seq):
+        for r in self._committed():
             sub = X[r.offset : r.offset + r.v.size, :]
             sub -= np.outer(r.tau * r.v, r.v @ sub)
 
@@ -169,6 +187,19 @@ def task_window(task: BCTask, n: int, b: int) -> tuple[int, int]:
     scheduler and the cache model to reason about overlap and footprint.
     """
     return task.col, min(task.row1 + b, n)
+
+
+def bc_task_flops(task: BCTask, n: int, b: int) -> float:
+    """Flop count charged for one chase task: ``8 * len * window``.
+
+    One reflector generation plus the two-sided rank-1 update over the
+    task's ``window = hi - lo`` columns (see :func:`task_window`).  All
+    drivers — sequential, band-resident, per-task pipelined, and
+    wavefront-batched — charge exactly this amount, so their reported
+    ``flops`` are comparable (and asserted identical by the tests).
+    """
+    lo, hi = task_window(task, n, b)
+    return 8.0 * task.length * (hi - lo)
 
 
 def apply_bc_task(A: np.ndarray, b: int, task: BCTask) -> tuple[int, np.ndarray, float]:
@@ -236,8 +267,7 @@ def bulge_chase(band: np.ndarray, b: int) -> BulgeChasingResult:
                         sweep=i, step=task.step, offset=off, v=v, tau=tau, seq=seq
                     )
                 )
-                lo, hi = task.col, min(task.row1 + b, n)
-                flops += 8.0 * task.length * (hi - lo)
+                flops += bc_task_flops(task, n, b)
                 seq += 1
     d = np.diagonal(A).copy()
     e = np.diagonal(A, -1).copy()

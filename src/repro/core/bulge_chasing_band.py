@@ -25,6 +25,7 @@ from .bulge_chasing import (
     BCTask,
     BulgeChasingResult,
     apply_bc_task,
+    bc_task_flops,
     sweep_tasks,
     task_window,
 )
@@ -146,7 +147,7 @@ def bulge_chase_band(band, b: int | None = None) -> BulgeChasingResult:
                         seq=seq,
                     )
                 )
-                flops += 8.0 * task.length * (hi - lo)
+                flops += bc_task_flops(task, n, bw)
                 seq += 1
     d, e = work.tridiagonal()
     return BulgeChasingResult(d=d, e=e, reflectors=reflectors, flops=flops)

@@ -7,8 +7,9 @@ with a tridiagonal eigensolver and the back transformation:
 
 Four presets mirror the paper's comparison and its lineage:
 
-* ``method="proposed"`` — DBBR + pipelined GPU-style bulge chasing +
-  divide & conquer + incremental (Figure 13) back transformation;
+* ``method="proposed"`` — DBBR + pipelined GPU-style bulge chasing
+  (wavefront-batched engine) + divide & conquer + incremental
+  (Figure 13) back transformation;
 * ``method="magma"`` — single-blocking SBR + sequential bulge chasing +
   divide & conquer + blocked (`ormqr`) back transformation;
 * ``method="cusolver"`` — direct one-stage tridiagonalization + divide &
@@ -35,7 +36,12 @@ from .tridiag import TridiagResult, tridiagonalize
 __all__ = ["EVDResult", "eigh", "eigh_partial"]
 
 _PRESETS = {
-    "proposed": dict(method="dbbr", pipelined=True, back_transform="incremental"),
+    "proposed": dict(
+        method="dbbr",
+        pipelined=True,
+        bc_driver="wavefront",
+        back_transform="incremental",
+    ),
     "magma": dict(method="sbr", pipelined=False, back_transform="blocked"),
     "cusolver": dict(method="direct"),
     "plasma": dict(method="tile", pipelined=False),

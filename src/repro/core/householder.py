@@ -23,6 +23,7 @@ import numpy as np
 
 __all__ = [
     "make_householder",
+    "batched_make_householder",
     "apply_householder_left",
     "apply_householder_right",
     "apply_householder_two_sided",
@@ -65,6 +66,60 @@ def make_householder(x: np.ndarray) -> tuple[np.ndarray, float, float]:
     v[1:] = x[1:] / v0
     tau = (beta - alpha) / beta
     return v, float(tau), float(beta)
+
+
+def batched_make_householder(
+    X: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compute ``S`` independent Householder reflectors at once.
+
+    The batched form of :func:`make_householder`, vectorized over the
+    leading axis: row ``s`` of ``X`` yields ``(V[s], tau[s], beta[s])``
+    with ``(I - tau[s] V[s] V[s]^T) X[s] = beta[s] e_1`` and
+    ``V[s, 0] == 1``.  Same conventions and same stability choices as the
+    scalar kernel (``beta`` sign against cancellation, ``tau == 0`` for
+    already-annihilated rows); results agree with the scalar kernel to the
+    last ulp up to the summation order of the inner products.
+
+    This is the generation kernel of the wavefront-batched bulge chase
+    (:mod:`repro.core.bc_wavefront`): every task of a pipeline round emits
+    its reflector from one stacked call instead of ``S`` scalar ones.
+
+    Parameters
+    ----------
+    X : ndarray, shape (S, m)
+        One vector to reflect per row.  Not modified.
+
+    Returns
+    -------
+    (V, tau, beta) : ndarrays of shape (S, m), (S,), (S,)
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2 or X.shape[1] == 0:
+        raise ValueError("batched_make_householder expects a non-empty (S, m) array")
+    S, m = X.shape
+    V = np.zeros((S, m), dtype=np.float64)
+    V[:, 0] = 1.0
+    if m == 1:
+        return V, np.zeros(S), X[:, 0].copy()
+    sigma = np.einsum("ij,ij->i", X[:, 1:], X[:, 1:])
+    alpha = X[:, 0].copy()
+    nz = sigma != 0.0
+    if nz.all():
+        # Common case: no row is already annihilated, no guards needed.
+        beta = -np.copysign(np.sqrt(alpha * alpha + sigma), alpha)
+        V[:, 1:] = X[:, 1:] / (alpha - beta)[:, None]
+        tau = (beta - alpha) / beta
+        return V, tau, beta
+    beta = np.where(
+        nz, -np.copysign(np.sqrt(alpha * alpha + sigma), alpha), alpha
+    )
+    # v0 = alpha - beta is nonzero exactly when sigma != 0; guard the
+    # identity rows so the division stays silent (their numerators are 0).
+    v0 = np.where(nz, alpha - beta, 1.0)
+    V[:, 1:] = X[:, 1:] / v0[:, None]
+    tau = np.where(nz, (beta - alpha) / np.where(nz, beta, 1.0), 0.0)
+    return V, tau, beta
 
 
 def apply_householder_left(C: np.ndarray, v: np.ndarray, tau: float) -> None:

@@ -4,8 +4,9 @@ A factorization ``A = Q T Q^T`` is expensive; downstream workflows often
 want to reuse the same ``Q`` (e.g. compute more eigenvector windows later
 with :func:`repro.core.evd.eigh_partial`-style back transforms).  This
 module round-trips a full :class:`~repro.core.tridiag.TridiagResult` —
-including the SBR WY blocks and the bulge-chasing reflector log — through
-a single compressed ``.npz`` file.
+including the SBR WY blocks and the bulge-chasing reflector log (kept in
+stacked per-round form for wavefront-batched results, so a reloaded ``Q``
+application is bit-identical) — through a single compressed ``.npz`` file.
 """
 
 from __future__ import annotations
@@ -14,6 +15,7 @@ import pathlib
 
 import numpy as np
 
+from .bc_wavefront import BCWavefrontGroup, WavefrontBCResult
 from .blocks import BandReductionResult, WYBlock
 from .bulge_chasing import BCReflector, BulgeChasingResult
 from .direct_tridiag import DirectTridiagResult
@@ -46,7 +48,22 @@ def save_tridiag(path, result: TridiagResult) -> None:
         if br.blocks:
             data["block_W"] = np.concatenate([b.W.ravel() for b in br.blocks])
             data["block_Y"] = np.concatenate([b.Y.ravel() for b in br.blocks])
-    if result.bc_result is not None:
+    if isinstance(result.bc_result, WavefrontBCResult):
+        # Keep the stacked (per-round) form: a reloaded result then
+        # replays ``apply_q1`` through the identical batched kernels,
+        # so the round trip stays bit-exact.
+        wf = result.bc_result
+        groups = wf.round_groups
+        data["bc_flops"] = np.array(wf.flops)
+        data["wf_row_pad"] = np.array(wf.row_pad)
+        data["wf_sizes"] = np.array([g.size for g in groups], dtype=np.int64)
+        if groups:
+            data["wf_offsets"] = np.concatenate([g.offsets for g in groups])
+            data["wf_sweeps"] = np.concatenate([g.sweeps for g in groups])
+            data["wf_steps"] = np.concatenate([g.steps for g in groups])
+            data["wf_tau"] = np.concatenate([g.tau for g in groups])
+            data["wf_V"] = np.concatenate([g.V for g in groups], axis=0)
+    elif result.bc_result is not None:
         bc = result.bc_result
         refl = sorted(bc.reflectors, key=lambda r: r.seq)
         data["bc_flops"] = np.array(bc.flops)
@@ -143,7 +160,29 @@ def load_tridiag(path) -> TridiagResult:
                 blocks=_load_blocks(z),
                 flops=float(z["band_flops"]),
             )
-        if "refl_sweep" in z:
+        if "wf_sizes" in z:
+            groups: list[BCWavefrontGroup] = []
+            pos = 0
+            for s in z["wf_sizes"]:
+                s = int(s)
+                groups.append(
+                    BCWavefrontGroup(
+                        offsets=z["wf_offsets"][pos : pos + s].copy(),
+                        V=z["wf_V"][pos : pos + s].copy(),
+                        tau=z["wf_tau"][pos : pos + s].copy(),
+                        sweeps=z["wf_sweeps"][pos : pos + s].copy(),
+                        steps=z["wf_steps"][pos : pos + s].copy(),
+                    )
+                )
+                pos += s
+            bc_result = WavefrontBCResult(
+                d=d.copy(),
+                e=e.copy(),
+                round_groups=groups,
+                flops=float(z["bc_flops"]),
+                row_pad=int(z["wf_row_pad"]),
+            )
+        elif "refl_sweep" in z:
             bc_result = BulgeChasingResult(
                 d=d.copy(),
                 e=e.copy(),

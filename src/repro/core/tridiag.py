@@ -6,7 +6,8 @@ routine.
 
 * ``"dbbr"`` (proposed) — double-blocking band reduction to bandwidth ``b``
   with deferred rank-``2k`` updates, followed by pipelined (GPU-style)
-  bulge chasing;
+  bulge chasing — executed by the wavefront-batched engine
+  (:mod:`repro.core.bc_wavefront`) by default;
 * ``"sbr"`` (MAGMA-like) — classic single-blocking band reduction followed
   by sequential bulge chasing;
 * ``"direct"`` (cuSOLVER-like) — one-stage blocked Householder
@@ -26,6 +27,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .bc_pipeline import PipelineStats, bulge_chase_pipelined
+from .bc_wavefront import bulge_chase_wavefront
 from .blocks import BandReductionResult
 from .bulge_chasing import BulgeChasingResult, bulge_chase
 from .back_transform import apply_sbr_q, apply_sbr_q_transpose
@@ -127,6 +129,7 @@ def tridiagonalize(
     bandwidth: int | None = None,
     second_block: int | None = None,
     pipelined: bool = True,
+    bc_driver: str = "wavefront",
     max_sweeps: int | None = None,
     syr2k_kind: str = "square",
     direct_block: int = 32,
@@ -149,6 +152,13 @@ def tridiagonalize(
     pipelined : bool
         Use the multi-sweep pipelined bulge chasing (DBBR default); the
         sequential chase is used otherwise.
+    bc_driver : {"wavefront", "pipelined"}
+        Execution engine for the pipelined chase.  ``"wavefront"``
+        (default) batches each pipeline round into stacked numpy
+        operations over band storage (:mod:`repro.core.bc_wavefront`);
+        ``"pipelined"`` runs the per-task dense driver, which is
+        bit-identical to the sequential chase.  Ignored when
+        ``pipelined`` is False.
     max_sweeps : int, optional
         Cap on concurrently in-flight sweeps ``S`` (None = unbounded).
     syr2k_kind : {"square", "rect", "reference"}
@@ -198,7 +208,12 @@ def tridiagonalize(
     band_matrix = tile_res.band if tile_res is not None else band_res.band
     stats: PipelineStats | None = None
     if pipelined:
-        bc_res, stats = bulge_chase_pipelined(band_matrix, b, max_sweeps=max_sweeps)
+        if bc_driver == "wavefront":
+            bc_res, stats = bulge_chase_wavefront(band_matrix, b, max_sweeps=max_sweeps)
+        elif bc_driver == "pipelined":
+            bc_res, stats = bulge_chase_pipelined(band_matrix, b, max_sweeps=max_sweeps)
+        else:
+            raise ValueError(f"unknown bc_driver {bc_driver!r}")
     else:
         bc_res = bulge_chase(band_matrix, b)
 

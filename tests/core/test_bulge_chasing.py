@@ -146,3 +146,27 @@ class TestBulgeChase:
         res = bulge_chase(B, 4)
         # ~12 n^2 b within a small factor.
         assert 0.2 * 12 * 40**2 * 4 < res.flops < 3 * 12 * 40**2 * 4
+
+
+class TestCommitOrderContract:
+    """``apply_q1``/``apply_q1_transpose`` assume the reflector log is in
+    commit (seq) order and assert it once instead of re-sorting on every
+    call."""
+
+    def test_out_of_order_log_rejected(self, rng):
+        B = random_symmetric_band(20, 3, rng)
+        res = bulge_chase(B, 3)
+        res.reflectors[0], res.reflectors[1] = res.reflectors[1], res.reflectors[0]
+        with pytest.raises(AssertionError):
+            res.apply_q1(np.eye(20))
+
+    def test_order_checked_once_then_cached(self, rng):
+        B = random_symmetric_band(18, 3, rng)
+        res = bulge_chase(B, 3)
+        X = np.eye(18)
+        res.apply_q1(X)
+        # Corrupting the log after the first (validated) application must
+        # not re-trigger the scan — the contract is checked once.
+        res.reflectors[0], res.reflectors[1] = res.reflectors[1], res.reflectors[0]
+        res.apply_q1_transpose(X)
+        assert np.isfinite(X).all()

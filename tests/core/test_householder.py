@@ -11,6 +11,7 @@ from repro.core.householder import (
     apply_householder_left,
     apply_householder_right,
     apply_householder_two_sided,
+    batched_make_householder,
     build_q_from_compact_wy,
     build_q_from_wy,
     larft,
@@ -219,3 +220,58 @@ class TestMergeWY:
         Y2 = rng.standard_normal((7, 3))
         W, Y = merge_wy(W1, Y1, W2, Y2)
         assert W.shape == (7, 5) and Y.shape == (7, 5)
+
+
+class TestBatchedMakeHouseholder:
+    def test_matches_scalar_kernel(self, rng):
+        # Agreement is to the last ulp: the batched inner product (einsum)
+        # may sum in a different order than the scalar np.dot.
+        X = rng.standard_normal((7, 9))
+        V, tau, beta = batched_make_householder(X)
+        for s in range(7):
+            v_s, tau_s, beta_s = make_householder(X[s])
+            assert np.allclose(V[s], v_s, rtol=1e-14, atol=0.0)
+            assert np.isclose(tau[s], tau_s, rtol=1e-14, atol=0.0)
+            assert np.isclose(beta[s], beta_s, rtol=1e-14, atol=0.0)
+
+    def test_annihilates_all_tails(self, rng):
+        X = rng.standard_normal((5, 6))
+        V, tau, beta = batched_make_householder(X)
+        for s in range(5):
+            y = dense_h(V[s], tau[s]) @ X[s]
+            assert abs(y[0] - beta[s]) < 1e-12
+            assert np.max(np.abs(y[1:])) < 1e-12
+
+    def test_already_annihilated_rows(self, rng):
+        # Mixed batch: rows with zero tails take the tau == 0 identity
+        # path without disturbing their neighbours.
+        X = rng.standard_normal((4, 5))
+        X[1, 1:] = 0.0
+        X[3, 1:] = 0.0
+        V, tau, beta = batched_make_householder(X)
+        assert tau[1] == 0.0 and beta[1] == X[1, 0]
+        assert np.array_equal(V[1], np.eye(5)[0])
+        for s in (0, 2):
+            v_s, tau_s, beta_s = make_householder(X[s])
+            assert np.allclose(V[s], v_s, rtol=1e-14, atol=0.0)
+            assert np.isclose(tau[s], tau_s, rtol=1e-14, atol=0.0)
+            assert np.isclose(beta[s], beta_s, rtol=1e-14, atol=0.0)
+
+    def test_length_one_vectors(self, rng):
+        X = rng.standard_normal((3, 1))
+        V, tau, beta = batched_make_householder(X)
+        assert np.array_equal(V, np.ones((3, 1)))
+        assert np.array_equal(tau, np.zeros(3))
+        assert np.array_equal(beta, X[:, 0])
+
+    def test_input_not_modified(self, rng):
+        X = rng.standard_normal((4, 6))
+        X0 = X.copy()
+        batched_make_householder(X)
+        assert np.array_equal(X, X0)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            batched_make_householder(np.zeros(5))
+        with pytest.raises(ValueError):
+            batched_make_householder(np.zeros((3, 0)))
