@@ -21,6 +21,8 @@ import pathlib
 
 import numpy as np
 
+from repro.backend import get_backend
+from repro.backend.context import ExecutionContext
 from repro.band.ops import random_symmetric_band
 from repro.band.storage import LowerBandStorage
 from repro.bench.reporting import banner, print_table, write_json_artifact
@@ -35,15 +37,16 @@ SMOKE_CASES = [(128, 4), (192, 8)]
 HEADLINE = (1024, 16)  # the >= 3x acceptance case
 
 
-def run_case(n: int, b: int, reps: int) -> dict:
+def run_case(n: int, b: int, reps: int, backend: str = "numpy") -> dict:
     """Time both drivers on one band matrix and cross-check numerics."""
     A = random_symmetric_band(n, b, np.random.default_rng(1234 + n))
     lb = LowerBandStorage.from_dense(A, b)
+    ctx = ExecutionContext(backend=get_backend(backend))
 
-    t_wf = measure(lambda: bulge_chase_wavefront(lb), reps=reps)
+    t_wf = measure(lambda: bulge_chase_wavefront(lb, ctx=ctx), reps=reps)
     t_pt = measure(lambda: bulge_chase_pipelined(A, b), reps=reps)
 
-    wf, stats = bulge_chase_wavefront(lb)
+    wf, stats = bulge_chase_wavefront(lb, ctx=ctx)
     pt, _ = bulge_chase_pipelined(A, b)
     scale = max(np.max(np.abs(pt.d)), 1.0)
     dev = max(np.max(np.abs(wf.d - pt.d)), np.max(np.abs(wf.e - pt.e))) / scale
@@ -64,10 +67,19 @@ def run_case(n: int, b: int, reps: int) -> dict:
     }
 
 
-def run(smoke: bool = False, reps: int = 3, write_json: bool | None = None) -> dict:
+def run(
+    smoke: bool = False,
+    reps: int = 3,
+    write_json: bool | None = None,
+    backend: str = "numpy",
+) -> dict:
     cases = SMOKE_CASES if smoke else FULL_CASES
-    print(banner("Wavefront-batched vs per-task bulge chasing", "measured"))
-    rows = [run_case(n, b, reps) for n, b in cases]
+    backend_name = get_backend(backend).name
+    print(banner(
+        f"Wavefront-batched vs per-task bulge chasing [backend: {backend_name}]",
+        "measured",
+    ))
+    rows = [run_case(n, b, reps, backend=backend_name) for n, b in cases]
 
     print_table(
         ["n", "b", "per-task best", "wavefront best", "speedup", "max rel dev"],
@@ -91,6 +103,7 @@ def run(smoke: bool = False, reps: int = 3, write_json: bool | None = None) -> d
         "provenance": "measured",
         "reps": reps,
         "smoke": smoke,
+        "backend": backend_name,
         "headline": {
             "n": headline["n"],
             "b": headline["b"],
@@ -100,7 +113,7 @@ def run(smoke: bool = False, reps: int = 3, write_json: bool | None = None) -> d
         "cases": rows,
     }
     if write_json if write_json is not None else not smoke:
-        path = write_json_artifact(OUT_DIR, "wavefront_bc", payload)
+        path = write_json_artifact(OUT_DIR, "wavefront_bc", payload, backend=backend_name)
         print(f"\nartifact: {path}")
     print(
         f"\nheadline: n={headline['n']}, b={headline['b']}: "
@@ -134,8 +147,15 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="write the JSON artifact even in smoke mode",
     )
+    ap.add_argument(
+        "--backend",
+        default="numpy",
+        choices=["numpy", "cupy", "torch", "auto"],
+        help="array backend for the wavefront driver",
+    )
     args = ap.parse_args(argv)
-    run(smoke=args.smoke, reps=args.reps, write_json=args.json or None)
+    run(smoke=args.smoke, reps=args.reps, write_json=args.json or None,
+        backend=args.backend)
     return 0
 
 

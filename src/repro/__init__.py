@@ -16,12 +16,23 @@ Public API highlights
     Tridiagonal eigensolvers (divide & conquer, QL iteration, bisection).
 ``repro.band``
     Band-matrix storage (LAPACK lower band + the paper's packed layout).
+``repro.backend``
+    Pluggable array backends (NumPy default, optional CuPy/PyTorch) and
+    the :class:`~repro.backend.ExecutionContext` threaded through the
+    pipeline (``eigh(A, backend="torch")``).
 ``repro.gpusim`` / ``repro.models``
     The calibrated GPU performance simulator and the analytical models
     that regenerate the paper's tables and figures at device scale.
 """
 
-from . import band, core, eig
+from . import backend, band, core, eig
+from .backend import (
+    ArrayBackend,
+    BackendUnavailable,
+    ExecutionContext,
+    available_backends,
+    get_backend,
+)
 from .core import (
     EVDResult,
     TridiagResult,
@@ -38,11 +49,17 @@ from .eig import dc_eigh, eigh_bisect, tridiag_qr_eigh
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArrayBackend",
+    "BackendUnavailable",
     "EVDResult",
+    "ExecutionContext",
     "TridiagResult",
+    "available_backends",
+    "backend",
     "band",
     "core",
     "dbbr",
+    "get_backend",
     "dc_eigh",
     "eig",
     "eigh",

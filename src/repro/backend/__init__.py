@@ -1,0 +1,38 @@
+"""Pluggable array backends + the ExecutionContext threaded through the
+EVD pipeline.
+
+``repro.backend.get_backend("numpy"|"cupy"|"torch"|"auto")`` resolves an
+execution substrate; :class:`ExecutionContext` bundles it with a
+workspace pool and stage-timing hooks and rides down through every stage
+of :func:`repro.core.tridiag.tridiagonalize` / :func:`repro.core.evd.eigh`.
+See ``docs/backends.md`` for the backend matrix and the protocol an
+implementation must cover.
+"""
+
+from .base import ArrayBackend, BackendUnavailable, assert_f64
+from .context import (
+    ExecutionContext,
+    StageEvent,
+    WorkspacePool,
+    resolve_context,
+)
+from .cupy_backend import CupyBackend
+from .numpy_backend import NumpyBackend
+from .registry import AUTO_ORDER, available_backends, get_backend
+from .torch_backend import TorchBackend
+
+__all__ = [
+    "AUTO_ORDER",
+    "ArrayBackend",
+    "BackendUnavailable",
+    "CupyBackend",
+    "ExecutionContext",
+    "NumpyBackend",
+    "StageEvent",
+    "TorchBackend",
+    "WorkspacePool",
+    "assert_f64",
+    "available_backends",
+    "get_backend",
+    "resolve_context",
+]

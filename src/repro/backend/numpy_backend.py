@@ -1,0 +1,48 @@
+"""The default (bit-exact) NumPy backend.
+
+``NumpyBackend.xp`` is literally the ``numpy`` module, so every kernel
+that writes ``xp.matmul(...)`` under this backend executes the exact
+instruction stream it executed before the backend seam existed — the
+tier-1 suite pins the ``d``/``e`` outputs bit-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ArrayBackend
+
+__all__ = ["NumpyBackend"]
+
+
+class NumpyBackend(ArrayBackend):
+    """Host NumPy execution — the correctness reference substrate."""
+
+    name = "numpy"
+    xp = np
+    is_host = True
+
+    def asarray(self, x) -> np.ndarray:
+        return np.asarray(x, dtype=np.float64)
+
+    def from_numpy(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def to_numpy(self, x) -> np.ndarray:
+        return np.asarray(x)
+
+    def owns(self, x) -> bool:
+        return isinstance(x, np.ndarray)
+
+    def solve_triangular(self, L, B, lower: bool = True,
+                         transpose: bool = False) -> np.ndarray:
+        from ..core.extensions import solve_triangular_lower
+
+        if not lower:  # pragma: no cover - pipeline only solves lower
+            return np.asarray(
+                np.linalg.solve(np.asarray(L), np.asarray(B))
+            )
+        return solve_triangular_lower(L, B, transpose=transpose)
+
+    def eigh(self, A) -> tuple[np.ndarray, np.ndarray]:
+        return np.linalg.eigh(A)

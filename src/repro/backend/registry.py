@@ -1,0 +1,109 @@
+"""Backend registry: ``get_backend("numpy"|"cupy"|"torch"|"auto")``.
+
+``"auto"`` probes for a GPU-capable substrate and falls back to NumPy:
+CuPy first (CUDA-native, NumPy-API-compatible), then torch *with a CUDA
+device* (torch on CPU loses to NumPy for this FP64 workload, so it is
+never auto-selected — request ``"torch"`` explicitly to get it), then
+NumPy.  The probe order is :data:`AUTO_ORDER`; tests monkeypatch the
+``_PROBES`` table to pin the fallback behaviour without needing the
+optional libraries installed.
+"""
+
+from __future__ import annotations
+
+from .base import ArrayBackend, BackendUnavailable
+from .cupy_backend import CupyBackend
+from .numpy_backend import NumpyBackend
+from .torch_backend import TorchBackend
+
+__all__ = ["get_backend", "available_backends", "AUTO_ORDER"]
+
+#: Probe order of ``get_backend("auto")`` — GPU substrates first.
+AUTO_ORDER = ("cupy", "torch", "numpy")
+
+
+def _make_numpy() -> ArrayBackend:
+    return NumpyBackend()
+
+
+def _make_cupy() -> ArrayBackend:
+    return CupyBackend()
+
+
+def _make_torch() -> ArrayBackend:
+    return TorchBackend()
+
+
+def _make_torch_auto() -> ArrayBackend:
+    """Auto-probe flavour of torch: only usable when CUDA is present."""
+    try:
+        import torch
+    except ImportError as exc:
+        raise BackendUnavailable(str(exc))
+    if not torch.cuda.is_available():
+        raise BackendUnavailable(
+            "torch is installed but has no CUDA device; auto-selection "
+            "prefers numpy on the host (request 'torch' explicitly)"
+        )
+    return TorchBackend(device="cuda")  # pragma: no cover - needs a GPU
+
+
+#: name -> (explicit factory, auto-probe factory)
+_PROBES = {
+    "numpy": (_make_numpy, _make_numpy),
+    "cupy": (_make_cupy, _make_cupy),
+    "torch": (_make_torch, _make_torch_auto),
+}
+
+
+def get_backend(name: str | ArrayBackend | None = "numpy") -> ArrayBackend:
+    """Resolve a backend by name (or pass an instance through).
+
+    Parameters
+    ----------
+    name : {"numpy", "cupy", "torch", "auto"} or ArrayBackend or None
+        ``None`` means the default (``"numpy"``).  An
+        :class:`~repro.backend.base.ArrayBackend` instance is returned
+        unchanged, so callers can inject configured backends (e.g.
+        ``TorchBackend(device="cuda:1")``).
+
+    Raises
+    ------
+    BackendUnavailable
+        The named backend's library is missing (never raised for
+        ``"numpy"`` or ``"auto"``).
+    ValueError
+        Unknown backend name.
+    """
+    if name is None:
+        name = "numpy"
+    if isinstance(name, ArrayBackend):
+        return name
+    name = str(name).lower()
+    if name == "auto":
+        for candidate in AUTO_ORDER:
+            try:
+                return _PROBES[candidate][1]()
+            except BackendUnavailable:
+                continue
+        return NumpyBackend()  # pragma: no cover - numpy probe never fails
+    try:
+        factory = _PROBES[name][0]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of "
+            f"{sorted(_PROBES)} or 'auto'"
+        ) from None
+    return factory()
+
+
+def available_backends() -> list[str]:
+    """Names of backends constructible in this environment."""
+    out = []
+    for name, (factory, _) in _PROBES.items():
+        try:
+            factory()
+        except BackendUnavailable:
+            continue
+        out.append(name)
+    return sorted(out)

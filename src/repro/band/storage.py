@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backend.context import ExecutionContext, resolve_context
+
 __all__ = [
     "LowerBandStorage",
     "PackedBandStorage",
@@ -174,22 +176,35 @@ class BandWindowBatcher:
     over the Figure-10 packed band.
 
     Index templates are cached per width and the ``(S, w, w)`` stacks are
-    served from grown-on-demand buffers, so steady-state rounds allocate
-    nothing.  The returned stack is a view into the shared buffer: consume
-    (and scatter) it before the next ``gather`` of the same width.
+    served from the execution context's workspace pool (backend-owned
+    memory), so steady-state rounds allocate nothing.  The returned stack
+    is a view into the shared buffer: consume (and scatter) it before the
+    next ``gather`` of the same width.
 
     Windows in one batch may overlap only in entries that no caller
     mutates (for bulge chasing: the untouched diagonal corner shared by
     windows exactly ``2b``-ish columns apart); scatter then rewrites equal
     values and any write order is correct.
+
+    ``data`` may be a native array of any backend; it must belong to the
+    context's backend (the NumPy default keeps the original contract:
+    a C-contiguous float64 ndarray).
     """
 
-    def __init__(self, data: np.ndarray):
+    def __init__(self, data, ctx: ExecutionContext | None = None):
+        self.ctx = resolve_context(ctx)
+        if self.ctx.is_numpy and not isinstance(data, np.ndarray):
+            raise ValueError(
+                "data must be a C-contiguous float64 (depth+1) x n band array"
+            )
+        flags = getattr(data, "flags", None)
+        contiguous = (
+            flags.c_contiguous if flags is not None else data.is_contiguous()
+        )
         if (
-            not isinstance(data, np.ndarray)
-            or data.ndim != 2
-            or data.dtype != np.float64
-            or not data.flags.c_contiguous
+            getattr(data, "ndim", 0) != 2
+            or str(data.dtype) not in ("float64", "torch.float64")
+            or not contiguous
         ):
             raise ValueError(
                 "data must be a C-contiguous float64 (depth+1) x n band array"
@@ -199,7 +214,7 @@ class BandWindowBatcher:
         self.n = data.shape[1]
         self._flat = data.reshape(-1)
         self._templates: dict[int, tuple] = {}
-        self._buffers: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._idx_buffers: dict[int, np.ndarray] = {}
 
     def _template(self, w: int):
         tpl = self._templates.get(w)
@@ -215,38 +230,48 @@ class BandWindowBatcher:
             mask = (r <= self.depth).astype(np.float64)
             si, sj = np.nonzero((i - j >= 0) & (i - j <= self.depth))
             scatter_flat = (si - sj) * self.n + sj
-            tpl = (gather_flat, mask, si, sj, scatter_flat)
+            if self.ctx.is_numpy:
+                mask_x, si_x, sj_x = mask, si, sj
+            else:  # backend-resident copies of the value-side templates
+                mask_x = self.ctx.from_numpy(mask)
+                si_x = self.ctx.from_numpy(si)
+                sj_x = self.ctx.from_numpy(sj)
+            tpl = (gather_flat, mask_x, si_x, sj_x, scatter_flat)
             self._templates[w] = tpl
         return tpl
 
-    def _stack_buffers(self, S: int, w: int) -> tuple[np.ndarray, np.ndarray]:
-        bufs = self._buffers.get(w)
-        if bufs is None or bufs[0].shape[0] < S:
-            bufs = (
-                np.empty((S, w, w), dtype=np.int64),
-                np.empty((S, w, w), dtype=np.float64),
-            )
-            self._buffers[w] = bufs
-        return bufs[0][:S], bufs[1][:S]
+    def _idx_buffer(self, S: int, w: int) -> np.ndarray:
+        buf = self._idx_buffers.get(w)
+        if buf is None or buf.shape[0] < S:
+            buf = np.empty((S, w, w), dtype=np.int64)
+            self._idx_buffers[w] = buf
+        return buf[:S]
 
     def gather(self, los: np.ndarray, w: int) -> np.ndarray:
         """Stacked dense windows ``A[lo:lo+w, lo:lo+w]`` for each ``lo``.
 
-        Returns a ``(len(los), w, w)`` view into the reused workspace.
+        Returns a ``(len(los), w, w)`` view into the reused workspace
+        (a native array of the context's backend).
         """
         los = np.asarray(los, dtype=np.int64)
         gather_flat, mask, *_ = self._template(w)
-        idx, stack = self._stack_buffers(los.size, w)
+        idx = self._idx_buffer(los.size, w)
+        stack = self.ctx.workspace.stack(f"bwb.{w}", (los.size, w, w))
         np.add(gather_flat[None, :, :], los[:, None, None], out=idx)
-        np.take(self._flat, idx, out=stack)
-        np.multiply(stack, mask, out=stack)
+        xp = self.ctx.xp
+        idx_x = idx if self.ctx.is_numpy else self.ctx.from_numpy(idx)
+        xp.take(self._flat, idx_x, out=stack)
+        xp.multiply(stack, mask, out=stack)
         return stack
 
     def scatter(self, stack: np.ndarray, los: np.ndarray, w: int) -> None:
         """Write the stored (lower-band) entries of each window back."""
         los = np.asarray(los, dtype=np.int64)
         _, _, si, sj, scatter_flat = self._template(w)
-        self._flat[scatter_flat[None, :] + los[:, None]] = stack[:, si, sj]
+        flatidx = scatter_flat[None, :] + los[:, None]
+        if not self.ctx.is_numpy:
+            flatidx = self.ctx.from_numpy(flatidx)
+        self._flat[flatidx] = stack[:, si, sj]
 
 
 def band_from_dense(A: np.ndarray, bandwidth: int) -> LowerBandStorage:

@@ -41,19 +41,29 @@ def format_time(seconds: float) -> str:
     return f"{seconds:8.2f} s "
 
 
-def write_json_artifact(out_dir, name: str, payload: dict) -> pathlib.Path:
+def write_json_artifact(
+    out_dir, name: str, payload: dict, backend: str = "numpy"
+) -> pathlib.Path:
     """Write a machine-readable benchmark artifact ``BENCH_<name>.json``.
 
-    The document carries the benchmark name and a generation timestamp
-    ahead of ``payload``, so checked-in artifacts record when (and from
-    what run) their numbers came.  Returns the written path.
+    The document carries the benchmark name, a generation timestamp and an
+    ``environment`` block (array backend the numbers were measured on plus
+    the NumPy version) ahead of ``payload``, so checked-in artifacts record
+    when — and on what substrate — their numbers came.  Returns the
+    written path.
     """
+    import numpy
+
     out_dir = pathlib.Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / f"BENCH_{name}.json"
     doc = {
         "name": name,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime()),
+        "environment": {
+            "backend": backend,
+            "numpy_version": numpy.__version__,
+        },
         **payload,
     }
     path.write_text(json.dumps(doc, indent=2) + "\n")

@@ -44,6 +44,9 @@ def build_parser() -> argparse.ArgumentParser:
     evd.add_argument("--solver", default="dc", choices=["dc", "qr", "bisect"])
     evd.add_argument("--no-vectors", action="store_true")
     evd.add_argument("--seed", type=int, default=0)
+    evd.add_argument("--backend", default="numpy",
+                     choices=["numpy", "cupy", "torch", "auto"],
+                     help="array backend for the hot-path kernels")
 
     tri = sub.add_parser("tridiag", help="tridiagonalization only")
     tri.add_argument("--n", type=int, default=300)
@@ -53,6 +56,9 @@ def build_parser() -> argparse.ArgumentParser:
     tri.add_argument("--serial", action="store_true",
                      help="disable the sweep pipeline")
     tri.add_argument("--seed", type=int, default=0)
+    tri.add_argument("--backend", default="numpy",
+                     choices=["numpy", "cupy", "torch", "auto"],
+                     help="array backend for the hot-path kernels")
 
     fig = sub.add_parser("figure", help="regenerate a paper figure's data")
     fig.add_argument("name", help="table1, fig4, fig5, fig8, fig9, fig11, "
@@ -82,10 +88,11 @@ def _cmd_evd(args) -> int:
     A = (A + A.T) / 2.0
     t0 = time.perf_counter()
     res = repro.eigh(A, method=args.method, solver=args.solver,
-                     compute_vectors=not args.no_vectors)
+                     compute_vectors=not args.no_vectors,
+                     backend=args.backend)
     dt = time.perf_counter() - t0
     print(f"EVD ({args.method}/{args.solver}) of {args.n} x {args.n} "
-          f"in {dt:.2f} s")
+          f"in {dt:.2f} s  [backend: {res.tridiag.backend}]")
     print(f"  eigenvalue range: [{res.eigenvalues[0]:.6g}, "
           f"{res.eigenvalues[-1]:.6g}]")
     err = np.max(np.abs(res.eigenvalues - np.linalg.eigvalsh(A)))
@@ -111,9 +118,11 @@ def _cmd_tridiag(args) -> int:
         bandwidth=args.bandwidth,
         second_block=args.second_block,
         pipelined=not args.serial,
+        backend=args.backend,
     )
     dt = time.perf_counter() - t0
-    print(f"tridiagonalize ({args.method}) of {args.n} x {args.n} in {dt:.2f} s")
+    print(f"tridiagonalize ({args.method}) of {args.n} x {args.n} in {dt:.2f} s"
+          f"  [backend: {res.backend}]")
     print(f"  intermediate bandwidth: {res.bandwidth}")
     if res.pipeline_stats is not None:
         s = res.pipeline_stats

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backend.context import ExecutionContext, resolve_context
 from .blocks import WYBlock
 from .bulge_chasing import BulgeChasingResult
 
@@ -43,63 +44,74 @@ __all__ = [
 ]
 
 
-def _embed(block: WYBlock, n: int) -> tuple[np.ndarray, np.ndarray]:
+def _embed(
+    block: WYBlock, n: int, ctx: ExecutionContext
+) -> tuple[np.ndarray, np.ndarray]:
     """Zero-pad a block's (W, Y) to full ``n`` rows so blocks with different
     trailing windows share one row space (the padding preserves the
     product algebra exactly)."""
-    W = np.zeros((n, block.width), dtype=np.float64)
-    Y = np.zeros((n, block.width), dtype=np.float64)
-    W[block.offset :] = block.W
-    Y[block.offset :] = block.Y
+    xp = ctx.xp
+    W = xp.zeros((n, block.width), dtype=np.float64)
+    Y = xp.zeros((n, block.width), dtype=np.float64)
+    W[block.offset :] = ctx.from_numpy(block.W)
+    Y[block.offset :] = ctx.from_numpy(block.Y)
     return W, Y
 
 
 def _merge(
-    W1: np.ndarray, Y1: np.ndarray, W2: np.ndarray, Y2: np.ndarray
+    W1: np.ndarray, Y1: np.ndarray, W2: np.ndarray, Y2: np.ndarray, xp=np
 ) -> tuple[np.ndarray, np.ndarray]:
     """(I - W1 Y1^T)(I - W2 Y2^T) = I - [W1 | W2 - W1 (Y1^T W2)] [Y1 | Y2]^T."""
     return (
-        np.hstack([W1, W2 - W1 @ (Y1.T @ W2)]),
-        np.hstack([Y1, Y2]),
+        xp.hstack([W1, W2 - W1 @ (Y1.T @ W2)]),
+        xp.hstack([Y1, Y2]),
     )
 
 
 def merge_blocks_recursive(
-    blocks: list[WYBlock], n: int
+    blocks: list[WYBlock], n: int, ctx: ExecutionContext | None = None
 ) -> tuple[np.ndarray, np.ndarray]:
     """Algorithm 3: merge every WY block into one ``(W, Y)`` pair.
 
-    Returns global-row factors with ``Q_sbr = I - W Y^T``.  Divide and
-    conquer over the block list keeps the merge GEMMs as square as
-    possible (the paper's ``ComputeW``).
+    Returns global-row factors with ``Q_sbr = I - W Y^T``, allocated on
+    the context's backend.  Divide and conquer over the block list keeps
+    the merge GEMMs as square as possible (the paper's ``ComputeW``).
     """
+    ctx = resolve_context(ctx)
+    xp = ctx.xp
     if not blocks:
-        return np.zeros((n, 0)), np.zeros((n, 0))
+        return xp.zeros((n, 0)), xp.zeros((n, 0))
 
     def rec(lo: int, hi: int) -> tuple[np.ndarray, np.ndarray]:
         if hi - lo == 1:
-            return _embed(blocks[lo], n)
+            return _embed(blocks[lo], n, ctx)
         mid = (lo + hi) // 2
         Wl, Yl = rec(lo, mid)
         Wr, Yr = rec(mid, hi)
-        return _merge(Wl, Yl, Wr, Yr)
+        return _merge(Wl, Yl, Wr, Yr, xp)
 
     return rec(0, len(blocks))
 
 
 def merge_blocks_grouped(
-    blocks: list[WYBlock], n: int, group_width: int
+    blocks: list[WYBlock],
+    n: int,
+    group_width: int,
+    ctx: ExecutionContext | None = None,
 ) -> list[tuple[np.ndarray, np.ndarray]]:
     """Figure 13: merge consecutive blocks pairwise until each group's WY
     width reaches ``group_width`` (e.g. 2048), never forming the full W.
 
     Returns the group list in product order:
-    ``Q_sbr = prod_g (I - W_g Y_g^T)``.  Each merge level is a batch of
-    independent GEMMs — the "batched GEMM" the paper calls out.
+    ``Q_sbr = prod_g (I - W_g Y_g^T)``, with each pair allocated on the
+    context's backend.  Each merge level is a batch of independent GEMMs
+    — the "batched GEMM" the paper calls out.
     """
     if group_width < 1:
         raise ValueError("group_width must be >= 1")
-    groups = [_embed(b, n) for b in blocks]
+    ctx = resolve_context(ctx)
+    xp = ctx.xp
+    groups = [_embed(b, n, ctx) for b in blocks]
     while len(groups) > 1:
         widths = [w.shape[1] for w, _ in groups]
         if all(w >= group_width for w in widths[:-1]):
@@ -111,7 +123,7 @@ def merge_blocks_grouped(
                 i + 1 < len(groups)
                 and groups[i][0].shape[1] < group_width
             ):
-                nxt.append(_merge(*groups[i], *groups[i + 1]))
+                nxt.append(_merge(*groups[i], *groups[i + 1], xp))
                 i += 2
             else:
                 nxt.append(groups[i])
@@ -125,24 +137,36 @@ def apply_sbr_q(
     X: np.ndarray,
     method: str = "blocked",
     group_width: int = 128,
+    ctx: ExecutionContext | None = None,
 ) -> None:
     """In place ``X <- Q_sbr X`` with ``Q_sbr = Q_0 Q_1 ... Q_{p-1}``.
 
     ``method`` selects the schedule (see module docstring); all methods are
-    numerically equivalent.
+    numerically equivalent.  ``X`` is a host array; with a non-host
+    backend it is staged to the device for the GEMMs and written back.
     """
+    ctx = resolve_context(ctx)
     n = X.shape[0]
+    Xd = X if ctx.is_numpy else ctx.from_numpy(np.ascontiguousarray(X))
     if method == "blocked":
-        for blk in reversed(blocks):
-            blk.apply_left(X)
+        if ctx.is_numpy:
+            for blk in reversed(blocks):
+                blk.apply_left(X)
+        else:
+            for blk in reversed(blocks):
+                W, Y = ctx.from_numpy(blk.W), ctx.from_numpy(blk.Y)
+                sub = Xd[blk.offset :]
+                sub -= W @ (Y.T @ sub)
     elif method == "recursive":
-        W, Y = merge_blocks_recursive(blocks, n)
-        X -= W @ (Y.T @ X)
+        W, Y = merge_blocks_recursive(blocks, n, ctx=ctx)
+        Xd -= W @ (Y.T @ Xd)
     elif method == "incremental":
-        for W, Y in reversed(merge_blocks_grouped(blocks, n, group_width)):
-            X -= W @ (Y.T @ X)
+        for W, Y in reversed(merge_blocks_grouped(blocks, n, group_width, ctx=ctx)):
+            Xd -= W @ (Y.T @ Xd)
     else:
         raise ValueError(f"unknown back-transform method {method!r}")
+    if Xd is not X:
+        X[...] = ctx.to_numpy(Xd)
 
 
 def apply_sbr_q_transpose(
@@ -150,26 +174,42 @@ def apply_sbr_q_transpose(
     X: np.ndarray,
     method: str = "blocked",
     group_width: int = 128,
+    ctx: ExecutionContext | None = None,
 ) -> None:
     """In place ``X <- Q_sbr^T X`` (forward block order)."""
+    ctx = resolve_context(ctx)
     n = X.shape[0]
+    Xd = X if ctx.is_numpy else ctx.from_numpy(np.ascontiguousarray(X))
     if method == "blocked":
-        for blk in blocks:
-            blk.apply_left_transpose(X)
+        if ctx.is_numpy:
+            for blk in blocks:
+                blk.apply_left_transpose(X)
+        else:
+            for blk in blocks:
+                W, Y = ctx.from_numpy(blk.W), ctx.from_numpy(blk.Y)
+                sub = Xd[blk.offset :]
+                sub -= Y @ (W.T @ sub)
     elif method == "recursive":
-        W, Y = merge_blocks_recursive(blocks, n)
-        X -= Y @ (W.T @ X)
+        W, Y = merge_blocks_recursive(blocks, n, ctx=ctx)
+        Xd -= Y @ (W.T @ Xd)
     elif method == "incremental":
-        for W, Y in merge_blocks_grouped(blocks, n, group_width):
-            X -= Y @ (W.T @ X)
+        for W, Y in merge_blocks_grouped(blocks, n, group_width, ctx=ctx):
+            Xd -= Y @ (W.T @ Xd)
     else:
         raise ValueError(f"unknown back-transform method {method!r}")
+    if Xd is not X:
+        X[...] = ctx.to_numpy(Xd)
 
 
-def q_from_blocks(blocks: list[WYBlock], n: int, method: str = "blocked") -> np.ndarray:
+def q_from_blocks(
+    blocks: list[WYBlock],
+    n: int,
+    method: str = "blocked",
+    ctx: ExecutionContext | None = None,
+) -> np.ndarray:
     """Materialize ``Q_sbr`` (tests / small problems)."""
     Q = np.eye(n)
-    apply_sbr_q(blocks, Q, method=method)
+    apply_sbr_q(blocks, Q, method=method, ctx=ctx)
     return Q
 
 
@@ -179,13 +219,17 @@ def assemble_eigenvectors(
     U: np.ndarray,
     method: str = "blocked",
     group_width: int = 128,
+    ctx: ExecutionContext | None = None,
 ) -> np.ndarray:
     """Full eigenvector back transformation ``V = Q_sbr (Q1 U)``.
 
     ``U`` holds the tridiagonal eigenvectors (columns).  Returns a new
-    array; ``U`` is not modified.
+    host array; ``U`` is not modified.  ``Q1`` is applied on the host
+    (scalar reflector replay); the SBR factor runs on the context's
+    backend.
     """
+    ctx = resolve_context(ctx)
     V = np.array(U, dtype=np.float64, copy=True)
     bc.apply_q1(V)
-    apply_sbr_q(blocks, V, method=method, group_width=group_width)
+    apply_sbr_q(blocks, V, method=method, group_width=group_width, ctx=ctx)
     return V

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..backend.context import ExecutionContext, resolve_context
 from .bulge_chasing import (
     BCReflector,
     BCTask,
@@ -159,14 +160,25 @@ def pipeline_schedule(
 
 
 def bulge_chase_pipelined(
-    band: np.ndarray, b: int, max_sweeps: int | None = None
+    band: np.ndarray,
+    b: int,
+    max_sweeps: int | None = None,
+    ctx: ExecutionContext | None = None,
 ) -> tuple[BulgeChasingResult, PipelineStats]:
     """Numerically execute bulge chasing in the pipelined schedule.
 
     Produces the same ``(d, e)`` and an equivalent reflector product as
     :func:`repro.core.bulge_chasing.bulge_chase` (the interleaving only
     swaps commuting tasks), plus the schedule statistics.
+
+    Like the sequential driver this is a **host oracle** (scalar task
+    loop); a ``ctx`` on a device backend stages the operand to the host.
+    The backend-resident execution of the same schedule is
+    :func:`repro.core.bc_wavefront.bulge_chase_wavefront`.
     """
+    ctx = resolve_context(ctx)
+    if not ctx.is_numpy and ctx.backend.owns(band):
+        band = ctx.to_numpy(band)
     A = np.array(band, dtype=np.float64, copy=True)
     n = A.shape[0]
     if b < 1:

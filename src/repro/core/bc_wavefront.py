@@ -59,6 +59,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..backend.context import ExecutionContext, resolve_context
 from .bc_pipeline import SAFETY_TASKS, PipelineStats, pipeline_schedule
 from .bulge_chasing import BCReflector, BulgeChasingResult
 from .householder import batched_make_householder
@@ -233,12 +234,18 @@ class _RoundKernel:
       and scatter zeros back.
 
     Templates are int64 — fancy indexing recasts anything narrower to
-    intp on every call — and all workspaces are preallocated and reused.
+    intp on every call — and all workspaces are preallocated and reused
+    (served from the execution context's :class:`~repro.backend.context.
+    WorkspacePool`, so they live on the backend).  Schedule/index math
+    stays host NumPy; only the per-round index stack crosses to the
+    backend, together with the gathered values it addresses.
     """
 
-    def __init__(self, b: int, npad: int):
+    def __init__(self, b: int, npad: int, ctx: ExecutionContext):
         self.b = b
         self.w = 3 * b
+        self.ctx = ctx
+        self.xp = ctx.xp
         self._dump = 2 * b * npad  # flat slot in the never-touched row 2b
         self.chase_tmpl = self._template(npad, sl=b, wn=3 * b)
         self.start_tmpl = self._template(npad, sl=1, wn=2 * b + 1)
@@ -258,15 +265,18 @@ class _RoundKernel:
     def _grow(self, S: int) -> None:
         if S > self._cap:
             b, w = self.b, self.w
+            pool = self.ctx.workspace
+            # Host index stack (schedule math is host-side by design).
             self._pi = np.empty((S, b, w), dtype=np.int64)
-            self._pv = np.empty((S, b, w), dtype=np.float64)
-            self._wr = np.empty((S, 1, w), dtype=np.float64)
-            self._u = np.empty((S, b, 1), dtype=np.float64)
-            self._tmp = np.empty((S, b, w), dtype=np.float64)
-            self._hv = np.empty((S, b), dtype=np.float64)
+            # Value stacks on the backend, pooled across rounds.
+            self._pv = pool.stack("bc.pv", (S, b, w))
+            self._wr = pool.stack("bc.wr", (S, 1, w))
+            self._u = pool.stack("bc.u", (S, b, 1))
+            self._tmp = pool.stack("bc.tmp", (S, b, w))
+            self._hv = pool.stack("bc.hv", (S, b))
             self._hv[:, 0] = 1.0
-            self._tv = np.empty((S, b), dtype=np.float64)
-            self._sg = np.empty((S, 1, 1), dtype=np.float64)
+            self._tv = pool.stack("bc.tv", (S, b))
+            self._sg = pool.stack("bc.sg", (S, 1, 1))
             self._cap = S
 
     def run(
@@ -291,51 +301,54 @@ class _RoundKernel:
             return self._run_one(flat, self.start_tmpl, start_lo)
         self._grow(S)
         b, w = self.b, self.w
+        xp = self.xp
 
         pi = self._pi[:S]
         np.add(self.chase_tmpl[None, :, :], chase_los[:, None, None], out=pi[:nc])
         if start_lo is not None:
             np.add(self.start_tmpl, start_lo, out=pi[nc])
+        # The only per-round host->backend crossing: the index stack.
+        pix = pi if self.ctx.is_numpy else self.ctx.from_numpy(pi)
         P = self._pv[:S]
-        flat.take(pi, out=P)
+        xp.take(flat, pix, out=P)
 
         # Batched Householder on the gathered columns, on preallocated
         # buffers; the guarded general kernel handles the rare
         # already-annihilated (sigma == 0) rows.
         X1 = P[:, 1:, 0]
         sg = self._sg[:S]
-        np.matmul(X1[:, None, :], X1[:, :, None], out=sg)  # batched dot
+        xp.matmul(X1[:, None, :], X1[:, :, None], out=sg)  # batched dot
         sigma = sg[:, 0, 0]
-        alpha = P[:, 0, 0].copy()
+        alpha = xp.copy(P[:, 0, 0])
         if sigma.all():
-            beta = -np.copysign(np.sqrt(alpha * alpha + sigma), alpha)
+            beta = -xp.copysign(xp.sqrt(alpha * alpha + sigma), alpha)
             Vbuf = self._hv[:S]  # Vbuf[:, 0] stays 1.0 from _grow
-            np.divide(X1, (alpha - beta)[:, None], out=Vbuf[:, 1:])
+            xp.divide(X1, (alpha - beta)[:, None], out=Vbuf[:, 1:])
             tau = (beta - alpha) / beta
             # Groups keep the reflectors past this round: hand out a copy,
             # use the buffer for the in-round math.
-            V = Vbuf.copy()
+            V = xp.copy(Vbuf)
         else:
-            V, tau, beta = batched_make_householder(P[:, :, 0].copy())
+            V, tau, beta = batched_make_householder(xp.copy(P[:, :, 0]), xp=xp)
         tv = self._tv[:S]
-        np.multiply(tau[:, None], V, out=tv)
+        xp.multiply(tau[:, None], V, out=tv)
 
         wr = self._wr[:S]
-        np.matmul(V[:, None, :], P, out=wr)  # (S, 1, w)
+        xp.matmul(V[:, None, :], P, out=wr)  # (S, 1, w)
         tmp = self._tmp[:S]
-        np.multiply(tv[:, :, None], wr, out=tmp)
-        np.subtract(P, tmp, out=P)
+        xp.multiply(tv[:, :, None], wr, out=tmp)
+        xp.subtract(P, tmp, out=P)
 
         D = P[:, :, w - b :]  # diagonal block, contiguous tail
         u = self._u[:S]
-        np.matmul(D, V[:, :, None], out=u)  # (S, b, 1)
+        xp.matmul(D, V[:, :, None], out=u)  # (S, b, 1)
         tmpD = tmp[:, :, w - b :]
-        np.multiply(u, tv[:, None, :], out=tmpD)
-        np.subtract(D, tmpD, out=D)
+        xp.multiply(u, tv[:, None, :], out=tmpD)
+        xp.subtract(D, tmpD, out=D)
 
         P[:, :, 0] = 0.0
         P[:, 0, 0] = beta
-        flat[pi] = P
+        flat[pix] = P
         return V, tau
 
     def _run_one(
@@ -343,30 +356,33 @@ class _RoundKernel:
     ) -> tuple[np.ndarray, np.ndarray]:
         """Scalar fast path: one task, plain 2-D ops, no stacked machinery."""
         b, w = self.b, self.w
+        xp = self.xp
         pi = tmpl + lo
-        P = flat[pi]
+        pix = pi if self.ctx.is_numpy else self.ctx.from_numpy(pi)
+        P = flat[pix]
         # Scalar Householder on column 0 (same arithmetic as
-        # :func:`repro.core.householder.make_householder`).
+        # :func:`repro.core.householder.make_householder`); the scalars
+        # stay 0-dim backend arrays so nothing round-trips to the host.
         x1 = P[1:, 0]
         sigma = x1 @ x1
         alpha = P[0, 0]
-        v = np.empty(b, dtype=np.float64)
+        v = xp.empty(b, dtype=np.float64)
         v[0] = 1.0
         if sigma != 0.0:
-            beta = -np.copysign(np.sqrt(alpha * alpha + sigma), alpha)
-            np.divide(x1, alpha - beta, out=v[1:])
+            beta = -xp.copysign(xp.sqrt(alpha * alpha + sigma), alpha)
+            xp.divide(x1, alpha - beta, out=v[1:])
             tau = (beta - alpha) / beta
         else:
             v[1:] = 0.0
-            tau, beta = 0.0, alpha
+            tau, beta = xp.zeros((), dtype=np.float64), alpha
         tv = tau * v
         P -= tv[:, None] * (v @ P)[None, :]
         D = P[:, w - b :]
         D -= (D @ v)[:, None] * tv[None, :]
         P[:, 0] = 0.0
         P[0, 0] = beta
-        flat[pi] = P
-        return v[None, :], np.array([tau])
+        flat[pix] = P
+        return v[None, :], xp.asarray(tau).reshape(1)
 
 
 def _total_chase_flops(n: int, b: int) -> float:
@@ -414,7 +430,10 @@ def _unbounded_schedule_arrays(
 
 
 def bulge_chase_wavefront(
-    band, b: int | None = None, max_sweeps: int | None = None
+    band,
+    b: int | None = None,
+    max_sweeps: int | None = None,
+    ctx: ExecutionContext | None = None,
 ) -> tuple[WavefrontBCResult, PipelineStats]:
     """Wavefront-batched bulge chasing of a symmetric band matrix.
 
@@ -433,6 +452,12 @@ def bulge_chase_wavefront(
         In-flight sweep cap ``S`` (None = unbounded).  The unbounded
         schedule is generated in closed form; a cap routes through
         :func:`repro.core.bc_pipeline.pipeline_schedule`.
+    ctx : ExecutionContext, optional
+        Execution context: the working band lives on its backend and
+        every round's gather / batched-Householder / update / scatter
+        executes there (round workspaces come from the context's pool).
+        Schedule construction and the reflector groups handed back stay
+        on the host.
 
     Returns
     -------
@@ -444,15 +469,19 @@ def bulge_chase_wavefront(
     """
     from .bulge_chasing_band import _coerce_band
 
+    ctx = resolve_context(ctx)
+    xp = ctx.xp
     lb = _coerce_band(band, b)
     bw, n = lb.b, lb.n
     if bw < 1:
         raise ValueError("bandwidth must be >= 1")
     # 3b zero padding columns give every task full uniform geometry; the
     # padded region only ever sees zero arithmetic, so it stays zero.
+    # The working band is backend-resident: every round executes in place
+    # on it and only the reflector stacks come back to the host.
     npad = n + 3 * bw
-    work = np.zeros((2 * bw + 1, npad), dtype=np.float64)
-    work[: bw + 1, :n] = lb.ab
+    work = xp.zeros((2 * bw + 1, npad), dtype=np.float64)
+    work[: bw + 1, :n] = ctx.from_numpy(np.ascontiguousarray(lb.ab))
     # The kernels rely on out-of-matrix slots reading 0; enforce the
     # storage contract on the trailing entries (ab[i, j], i + j >= n).
     for i in range(1, bw + 1):
@@ -463,7 +492,7 @@ def bulge_chase_wavefront(
     flops = 0.0
     if bw >= 2 and n >= 3:
         flops = _total_chase_flops(n, bw)
-        kernel = _RoundKernel(bw, npad)
+        kernel = _RoundKernel(bw, npad, ctx)
 
         def run_round(
             chase_los: np.ndarray,
@@ -472,6 +501,9 @@ def bulge_chase_wavefront(
             start_sweep: int | None,
         ) -> None:
             V, tau = kernel.run(flat, chase_los, start_sweep)
+            # Groups are host-side (the replay path and downstream
+            # consumers expect NumPy); on NumPy this is the identity.
+            V, tau = ctx.to_numpy(V), ctx.to_numpy(tau)
             nc = chase_los.size
             if start_sweep is not None:
                 # Start task rides last in the stack — the commit order
@@ -565,8 +597,8 @@ def bulge_chase_wavefront(
     else:
         stats = PipelineStats()
 
-    d = work[0, :n].copy()
-    e = work[1, : n - 1].copy()
+    d = ctx.to_numpy_copy(work[0, :n])
+    e = ctx.to_numpy_copy(work[1, : n - 1])
     return (
         WavefrontBCResult(
             d=d, e=e, round_groups=round_groups, flops=flops, row_pad=bw

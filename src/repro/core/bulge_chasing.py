@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..backend.context import ExecutionContext, resolve_context
 from .householder import make_householder
 
 __all__ = [
@@ -233,7 +234,9 @@ def apply_bc_task(A: np.ndarray, b: int, task: BCTask) -> tuple[int, np.ndarray,
     return s, v, float(tau)
 
 
-def bulge_chase(band: np.ndarray, b: int) -> BulgeChasingResult:
+def bulge_chase(
+    band: np.ndarray, b: int, ctx: ExecutionContext | None = None
+) -> BulgeChasingResult:
     """Sequential bulge chasing of a dense symmetric band matrix.
 
     Parameters
@@ -245,12 +248,20 @@ def bulge_chase(band: np.ndarray, b: int) -> BulgeChasingResult:
     b : int
         The bandwidth.  ``b == 1`` returns immediately (already
         tridiagonal).
+    ctx : ExecutionContext, optional
+        Accepted for pipeline uniformity.  This driver is the **host
+        oracle**: a scalar task-at-a-time loop with no batched work to
+        dispatch, so a device operand is staged to the host and the chase
+        runs in NumPy (the wavefront driver is the backend-resident one).
 
     Returns
     -------
     BulgeChasingResult
         ``band == Q1 @ tridiag(d, e) @ Q1.T``.
     """
+    ctx = resolve_context(ctx)
+    if not ctx.is_numpy and ctx.backend.owns(band):
+        band = ctx.to_numpy(band)
     A = np.array(band, dtype=np.float64, copy=True)
     n = A.shape[0]
     if b < 1:

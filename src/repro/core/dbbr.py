@@ -37,6 +37,7 @@ from typing import Literal
 
 import numpy as np
 
+from ..backend.context import ExecutionContext, resolve_context
 from .blocks import BandReductionResult, WYBlock
 from .panel_qr import panel_qr_wy
 from .syr2k import syr2k_rect_blocked, syr2k_reference, syr2k_square_blocked
@@ -46,15 +47,21 @@ __all__ = ["dbbr"]
 Syr2kKind = Literal["reference", "rect", "square"]
 
 
-def _syr2k_apply(kind: Syr2kKind, C: np.ndarray, Y: np.ndarray, Z: np.ndarray) -> np.ndarray:
+def _syr2k_apply(
+    kind: Syr2kKind,
+    C: np.ndarray,
+    Y: np.ndarray,
+    Z: np.ndarray,
+    ctx: ExecutionContext,
+) -> np.ndarray:
     """Dispatch ``C - Y Z^T - Z Y^T`` to the requested schedule."""
     if kind == "reference":
-        return syr2k_reference(C, Y, Z, alpha=-1.0)
-    out = np.array(C, copy=True)
+        return syr2k_reference(C, Y, Z, alpha=-1.0, ctx=ctx)
+    out = ctx.xp.array(C, copy=True)
     if kind == "rect":
-        syr2k_rect_blocked(out, Y, Z, alpha=-1.0)
+        syr2k_rect_blocked(out, Y, Z, alpha=-1.0, ctx=ctx)
     elif kind == "square":
-        syr2k_square_blocked(out, Y, Z, alpha=-1.0)
+        syr2k_square_blocked(out, Y, Z, alpha=-1.0, ctx=ctx)
     else:  # pragma: no cover - guarded by Literal
         raise ValueError(f"unknown syr2k kind {kind!r}")
     return out
@@ -65,6 +72,7 @@ def dbbr(
     bandwidth: int,
     second_block: int,
     syr2k_kind: Syr2kKind = "square",
+    ctx: ExecutionContext | None = None,
 ) -> BandReductionResult:
     """Reduce symmetric ``A`` to bandwidth ``b`` with double blocking.
 
@@ -80,15 +88,21 @@ def dbbr(
         ``b = 32, k = 1024``).  ``k == b`` degenerates to classic SBR.
     syr2k_kind : {"square", "rect", "reference"}
         Which schedule executes the deferred rank-2k update.
+    ctx : ExecutionContext, optional
+        Execution context; BLAS3 work (accumulated GEMMs and the deferred
+        rank-2k update) runs on its backend, panel QR stays on the host.
 
     Returns
     -------
     BandReductionResult
         ``A == Q @ band @ Q.T``; WY blocks are recorded per panel, in
         factorization order, exactly as SBR records them (so the two are
-        interchangeable for back transformation).
+        interchangeable for back transformation; host arrays regardless
+        of backend).
     """
-    A = np.array(A, dtype=np.float64, copy=True)
+    ctx = resolve_context(ctx)
+    xp = ctx.xp
+    A = xp.array(ctx.asarray(A), copy=True)
     n = A.shape[0]
     b = int(bandwidth)
     k = int(second_block)
@@ -106,8 +120,8 @@ def dbbr(
         kk = min(k, nelim - i)
         # Global-row accumulators for this outer block (zero above each
         # panel's own starting row, so one GEMM covers all panels).
-        Yacc = np.zeros((n, 0), dtype=np.float64)
-        Zacc = np.zeros((n, 0), dtype=np.float64)
+        Yacc = xp.zeros((n, 0), dtype=np.float64)
+        Zacc = xp.zeros((n, 0), dtype=np.float64)
 
         j = i
         while j < i + kk:
@@ -128,36 +142,37 @@ def dbbr(
                 cols = slice(j, j + bw)
                 upd = Yacc[urows] @ Zacc[cols].T + Zacc[urows] @ Yacc[cols].T
                 A[urows, cols] -= upd
-                A[cols, urows] = A[urows, cols].T.copy()
+                A[cols, urows] = xp.copy(A[urows, cols].T)
                 flops += 4.0 * (n - j) * bw * Yacc.shape[1]
 
-            panel = A[rows, j : j + bw]
-            W, Y, R = panel_qr_wy(panel)
+            # Host-side panel factorization (BLAS2-bound, narrow).
+            W, Y, R = panel_qr_wy(ctx.to_numpy(A[rows, j : j + bw]))
             flops += 2.0 * m * bw * bw
+            Wd, Yd = ctx.from_numpy(W), ctx.from_numpy(Y)
 
             A[rows, j : j + bw] = 0.0
-            A[r0 : r0 + bw, j : j + bw] = R
+            A[r0 : r0 + bw, j : j + bw] = ctx.from_numpy(R)
             A[j : j + bw, rows] = A[rows, j : j + bw].T
 
             # Z against the virtually updated trailing matrix.
-            P = A[rows, rows] @ W
+            P = A[rows, rows] @ Wd
             flops += 2.0 * m * m * bw
             if Yacc.shape[1] > 0:
-                P -= Yacc[rows] @ (Zacc[rows].T @ W)
-                P -= Zacc[rows] @ (Yacc[rows].T @ W)
+                P -= Yacc[rows] @ (Zacc[rows].T @ Wd)
+                P -= Zacc[rows] @ (Yacc[rows].T @ Wd)
                 flops += 8.0 * m * bw * Yacc.shape[1]
-            Z = P - 0.5 * Y @ (W.T @ P)
+            Z = P - 0.5 * Yd @ (Wd.T @ P)
             flops += 4.0 * m * bw * bw
 
-            Yg = np.zeros((n, bw), dtype=np.float64)
-            Zg = np.zeros((n, bw), dtype=np.float64)
-            Yg[rows] = Y
+            Yg = xp.zeros((n, bw), dtype=np.float64)
+            Zg = xp.zeros((n, bw), dtype=np.float64)
+            Yg[rows] = Yd
             Zg[rows] = Z
-            Yacc = np.hstack([Yacc, Yg])
-            Zacc = np.hstack([Zacc, Zg])
+            Yacc = xp.hstack([Yacc, Yg])
+            Zacc = xp.hstack([Zacc, Zg])
 
             blocks.append(WYBlock(W=W, Y=Y, offset=r0))
-            last_panel = (W, Y, r0, bw)
+            last_panel = (Wd, Yd, r0, bw)
             j += bw
 
         # Deferred rank-2k trailing update (Algorithm 1 line 15) — the
@@ -168,7 +183,7 @@ def dbbr(
         mt = n - t0
         if mt > 0 and Yacc.shape[1] > 0:
             A[t0:, t0:] = _syr2k_apply(
-                syr2k_kind, A[t0:, t0:], Yacc[t0:], Zacc[t0:]
+                syr2k_kind, A[t0:, t0:], Yacc[t0:], Zacc[t0:], ctx
             )
             flops += 2.0 * mt * mt * Yacc.shape[1]
 
@@ -184,11 +199,13 @@ def dbbr(
             A[t0:r0l, r0l:] = S.T
         i += kk
 
-    _zero_off_band(A, b)
-    return BandReductionResult(band=A, bandwidth=b, blocks=blocks, flops=flops)
+    _zero_off_band(A, b, xp)
+    return BandReductionResult(
+        band=ctx.to_numpy(A), bandwidth=b, blocks=blocks, flops=flops
+    )
 
 
-def _zero_off_band(A: np.ndarray, b: int) -> None:
+def _zero_off_band(A, b: int, xp=np) -> None:
     n = A.shape[0]
-    ii, jj = np.indices((n, n), sparse=True)
-    A[np.abs(ii - jj) > b] = 0.0
+    i = xp.arange(n)
+    A[xp.abs(i[:, None] - i[None, :]) > b] = 0.0

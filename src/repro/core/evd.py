@@ -28,6 +28,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..backend.base import ArrayBackend
+from ..backend.context import ExecutionContext, resolve_context
 from ..eig.dc import dc_eigh
 from ..eig.qr_iteration import tridiag_qr_eigh
 from ..eig.sturm import eigh_bisect, eigvals_bisect, inverse_iteration
@@ -73,10 +75,14 @@ class EVDResult:
 
 
 def _solve_tridiagonal(
-    d: np.ndarray, e: np.ndarray, solver: str, compute_vectors: bool
+    d: np.ndarray,
+    e: np.ndarray,
+    solver: str,
+    compute_vectors: bool,
+    ctx: ExecutionContext | None = None,
 ) -> tuple[np.ndarray, np.ndarray | None]:
     if solver == "dc":
-        return dc_eigh(d, e, compute_vectors=compute_vectors)
+        return dc_eigh(d, e, compute_vectors=compute_vectors, ctx=ctx)
     if solver == "qr":
         return tridiag_qr_eigh(d, e, compute_vectors=compute_vectors)
     if solver == "bisect":
@@ -89,6 +95,7 @@ def eigh(
     method: str = "proposed",
     compute_vectors: bool = True,
     solver: str = "dc",
+    backend: str | ArrayBackend | ExecutionContext | None = None,
     **tridiag_kwargs,
 ) -> EVDResult:
     """Full symmetric EVD of ``A``.
@@ -104,6 +111,11 @@ def eigh(
         Compute eigenvectors (the expensive back-transformation path).
     solver : {"dc", "qr", "bisect"}
         Tridiagonal eigensolver.
+    backend : str, ArrayBackend or ExecutionContext, optional
+        Execution substrate for the whole pipeline (see
+        :func:`repro.core.tridiag.tridiagonalize`); stage times land in
+        ``result.tridiag.ctx.stage_times`` under ``"tridiagonalize"``,
+        ``"tridiag_solver"`` and ``"back_transform"``.
     **tridiag_kwargs
         Forwarded to :func:`repro.core.tridiag.tridiagonalize`
         (``bandwidth``, ``second_block``, ``max_sweeps``, ...).
@@ -112,18 +124,22 @@ def eigh(
     -------
     EVDResult
     """
+    ctx = resolve_context(backend)
     preset = _PRESETS.get(method)
     if preset is not None:
         kwargs = {**preset, **tridiag_kwargs}
     else:
         kwargs = {"method": method, **tridiag_kwargs}
-    tri = tridiagonalize(A, **kwargs)
-    lam, U = _solve_tridiagonal(tri.d, tri.e, solver, compute_vectors)
+    with ctx.stage("tridiagonalize", method=method):
+        tri = tridiagonalize(A, backend=ctx, **kwargs)
+    with ctx.stage("tridiag_solver", solver=solver):
+        lam, U = _solve_tridiagonal(tri.d, tri.e, solver, compute_vectors, ctx=ctx)
     V: np.ndarray | None = None
     if compute_vectors:
         assert U is not None
-        V = np.array(U, copy=True)
-        tri.apply_q(V)
+        with ctx.stage("back_transform"):
+            V = np.array(U, copy=True)
+            tri.apply_q(V)
     return EVDResult(eigenvalues=lam, eigenvectors=V, tridiag=tri, solver=solver)
 
 
@@ -132,6 +148,7 @@ def eigh_partial(
     indices: tuple[int, int],
     method: str = "proposed",
     compute_vectors: bool = True,
+    backend: str | ArrayBackend | ExecutionContext | None = None,
     **tridiag_kwargs,
 ) -> EVDResult:
     """Selected eigenpairs ``indices = (lo, hi)`` (inclusive, 0 = smallest).
@@ -150,9 +167,11 @@ def eigh_partial(
     n = A.shape[0]
     if not (0 <= lo <= hi < n):
         raise ValueError(f"indices {indices} out of range for n = {n}")
+    ctx = resolve_context(backend)
     preset = _PRESETS.get(method)
     kwargs = {**preset, **tridiag_kwargs} if preset else {"method": method, **tridiag_kwargs}
-    tri = tridiagonalize(A, **kwargs)
+    with ctx.stage("tridiagonalize", method=method):
+        tri = tridiagonalize(A, backend=ctx, **kwargs)
     idx = np.arange(lo, hi + 1)
     lam = eigvals_bisect(tri.d, tri.e, indices=idx)
     V: np.ndarray | None = None

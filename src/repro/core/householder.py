@@ -14,12 +14,23 @@ two-sided), and the two standard block accumulations:
 Conventions follow LAPACK: a reflector is ``H = I - tau v v^T`` with
 ``v[0] == 1`` and ``H x = [beta, 0, ..., 0]^T``; ``tau == 0`` encodes the
 identity (already-annihilated columns, important for deflation-heavy
-matrices).  All kernels are vectorized NumPy and operate in FP64.
+matrices).  All kernels operate in FP64 — and *assert* it rather than
+coercing: dtype conversion happens exactly once, at the
+``tridiagonalize``/``eigh`` entry points, so per-call ``asarray`` copies
+never hide a dtype bug in an inner loop.
+
+:func:`make_householder` is the **scalar reference path** — by design the
+one place in the hot pipeline that computes directly in host NumPy.  The
+batched kernel takes an optional ``xp`` namespace
+(:mod:`repro.backend.base`) so the wavefront engine can generate a whole
+round's reflectors on any array backend.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from ..backend.base import assert_f64
 
 __all__ = [
     "make_householder",
@@ -47,11 +58,13 @@ def make_householder(x: np.ndarray) -> tuple[np.ndarray, float, float]:
     Parameters
     ----------
     x : ndarray, shape (m,)
-        The vector to reflect.  Not modified.
+        The vector to reflect (float64; asserted, not converted).  Not
+        modified.
     """
-    x = np.asarray(x, dtype=np.float64)
+    x = np.asarray(x)
     if x.ndim != 1 or x.size == 0:
         raise ValueError("make_householder expects a non-empty 1-D array")
+    assert_f64(x, "make_householder input")
     m = x.size
     v = np.zeros(m, dtype=np.float64)
     v[0] = 1.0
@@ -69,7 +82,7 @@ def make_householder(x: np.ndarray) -> tuple[np.ndarray, float, float]:
 
 
 def batched_make_householder(
-    X: np.ndarray,
+    X: np.ndarray, xp=np
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Compute ``S`` independent Householder reflectors at once.
 
@@ -88,37 +101,41 @@ def batched_make_householder(
     Parameters
     ----------
     X : ndarray, shape (S, m)
-        One vector to reflect per row.  Not modified.
+        One vector to reflect per row (float64; asserted, not converted).
+        Not modified.
+    xp : array namespace, optional
+        Backend operation namespace (defaults to NumPy).  ``X`` must be a
+        native array of the corresponding backend; the outputs are too.
 
     Returns
     -------
-    (V, tau, beta) : ndarrays of shape (S, m), (S,), (S,)
+    (V, tau, beta) : arrays of shape (S, m), (S,), (S,)
     """
-    X = np.asarray(X, dtype=np.float64)
     if X.ndim != 2 or X.shape[1] == 0:
         raise ValueError("batched_make_householder expects a non-empty (S, m) array")
+    assert_f64(X, "batched_make_householder input")
     S, m = X.shape
-    V = np.zeros((S, m), dtype=np.float64)
+    V = xp.zeros((S, m), dtype=np.float64)
     V[:, 0] = 1.0
     if m == 1:
-        return V, np.zeros(S), X[:, 0].copy()
-    sigma = np.einsum("ij,ij->i", X[:, 1:], X[:, 1:])
-    alpha = X[:, 0].copy()
+        return V, xp.zeros(S, dtype=np.float64), xp.copy(X[:, 0])
+    sigma = xp.einsum("ij,ij->i", X[:, 1:], X[:, 1:])
+    alpha = xp.copy(X[:, 0])
     nz = sigma != 0.0
     if nz.all():
         # Common case: no row is already annihilated, no guards needed.
-        beta = -np.copysign(np.sqrt(alpha * alpha + sigma), alpha)
+        beta = -xp.copysign(xp.sqrt(alpha * alpha + sigma), alpha)
         V[:, 1:] = X[:, 1:] / (alpha - beta)[:, None]
         tau = (beta - alpha) / beta
         return V, tau, beta
-    beta = np.where(
-        nz, -np.copysign(np.sqrt(alpha * alpha + sigma), alpha), alpha
+    beta = xp.where(
+        nz, -xp.copysign(xp.sqrt(alpha * alpha + sigma), alpha), alpha
     )
     # v0 = alpha - beta is nonzero exactly when sigma != 0; guard the
     # identity rows so the division stays silent (their numerators are 0).
-    v0 = np.where(nz, alpha - beta, 1.0)
+    v0 = xp.where(nz, alpha - beta, 1.0)
     V[:, 1:] = X[:, 1:] / v0[:, None]
-    tau = np.where(nz, (beta - alpha) / np.where(nz, beta, 1.0), 0.0)
+    tau = xp.where(nz, (beta - alpha) / xp.where(nz, beta, 1.0), 0.0)
     return V, tau, beta
 
 

@@ -12,13 +12,17 @@ so the ``syr2k`` inner dimension equals the bandwidth ``b`` — the very
 coupling (``k == b``) that the paper's DBBR breaks.
 
 The implementation is in-place on a copy of the input and records the WY
-block of every panel for back transformation.
+block of every panel for back transformation.  The trailing-matrix BLAS3
+work runs on the :class:`~repro.backend.context.ExecutionContext`'s
+backend; the skinny panel QR is factorized on the host (the hybrid
+CPU-panel / device-update split MAGMA uses).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..backend.context import ExecutionContext, resolve_context
 from .blocks import BandReductionResult, WYBlock
 from .panel_qr import panel_qr_wy
 from .syr2k import syr2k_reference
@@ -26,7 +30,9 @@ from .syr2k import syr2k_reference
 __all__ = ["sbr"]
 
 
-def sbr(A: np.ndarray, bandwidth: int) -> BandReductionResult:
+def sbr(
+    A: np.ndarray, bandwidth: int, ctx: ExecutionContext | None = None
+) -> BandReductionResult:
     """Reduce symmetric ``A`` to band form with the classic SBR sweep.
 
     Parameters
@@ -35,18 +41,24 @@ def sbr(A: np.ndarray, bandwidth: int) -> BandReductionResult:
         Symmetric input (only required to be symmetric; not modified).
     bandwidth : int
         Target half-bandwidth ``b >= 1``.
+    ctx : ExecutionContext, optional
+        Execution context; hot-path array ops run on its backend
+        (host NumPy by default).
 
     Returns
     -------
     BandReductionResult
-        ``A == Q @ band @ Q.T`` with ``band`` symmetric of bandwidth ``b``.
+        ``A == Q @ band @ Q.T`` with ``band`` symmetric of bandwidth ``b``
+        (host arrays regardless of backend).
     """
-    A = np.array(A, dtype=np.float64, copy=True)
+    ctx = resolve_context(ctx)
+    xp = ctx.xp
+    A = xp.array(ctx.asarray(A), copy=True)
     n = A.shape[0]
     b = int(bandwidth)
     if b < 1:
         raise ValueError("bandwidth must be >= 1")
-    if A.shape != (n, n):
+    if tuple(A.shape) != (n, n):
         raise ValueError("A must be square")
     blocks: list[WYBlock] = []
     flops = 0.0
@@ -57,20 +69,21 @@ def sbr(A: np.ndarray, bandwidth: int) -> BandReductionResult:
         bw = min(b, nelim - j)
         r0 = j + b  # first row of the panel
         m = n - r0
-        panel = A[r0:, j : j + bw]
-        W, Y, R = panel_qr_wy(panel)
+        # Host-side panel factorization (BLAS2-bound, narrow).
+        W, Y, R = panel_qr_wy(ctx.to_numpy(A[r0:, j : j + bw]))
         flops += 2.0 * m * bw * bw  # panel QR ~ 2 m b^2
+        Wd, Yd = ctx.from_numpy(W), ctx.from_numpy(Y)
 
         # Write back [R; 0] and its symmetric image.
         A[r0:, j : j + bw] = 0.0
-        A[r0 : r0 + bw, j : j + bw] = R
+        A[r0 : r0 + bw, j : j + bw] = ctx.from_numpy(R)
         A[j : j + bw, r0:] = A[r0:, j : j + bw].T
 
         # Two-sided trailing update via the ZY representation (Equation 1).
         B = A[r0:, r0:]
-        P = B @ W  # symm-gemm
-        Z = P - 0.5 * Y @ (W.T @ P)
-        A[r0:, r0:] = syr2k_reference(B, Y, Z, alpha=-1.0)
+        P = B @ Wd  # symm-gemm
+        Z = P - 0.5 * Yd @ (Wd.T @ P)
+        A[r0:, r0:] = syr2k_reference(B, Yd, Z, alpha=-1.0, ctx=ctx)
         flops += 2.0 * m * m * bw  # A W
         flops += 2.0 * m * m * bw  # syr2k (2 m^2 k for the symmetric half x2)
 
@@ -79,19 +92,21 @@ def sbr(A: np.ndarray, bandwidth: int) -> BandReductionResult:
             # the left of the reflector window, so they receive only the
             # left-side update Q^T S (their column index is below r0).
             S = A[r0:, j + bw : r0]
-            S -= Y @ (W.T @ S)
+            S -= Yd @ (Wd.T @ S)
             A[j + bw : r0, r0:] = S.T
 
         blocks.append(WYBlock(W=W, Y=Y, offset=r0))
         j += bw
 
     # Scrub roundoff outside the band so the output is an exact band matrix.
-    _zero_off_band(A, b)
-    return BandReductionResult(band=A, bandwidth=b, blocks=blocks, flops=flops)
+    _zero_off_band(A, b, xp)
+    return BandReductionResult(
+        band=ctx.to_numpy(A), bandwidth=b, blocks=blocks, flops=flops
+    )
 
 
-def _zero_off_band(A: np.ndarray, b: int) -> None:
+def _zero_off_band(A, b: int, xp=np) -> None:
     """Zero entries strictly outside bandwidth ``b`` (roundoff residue)."""
     n = A.shape[0]
-    i, j = np.indices((n, n), sparse=True)
-    A[np.abs(i - j) > b] = 0.0
+    i = xp.arange(n)
+    A[xp.abs(i[:, None] - i[None, :]) > b] = 0.0

@@ -18,6 +18,11 @@ This module implements, **numerically**, three equivalent schedules:
 
 All variants update only the lower triangle (the upper triangle is mirrored
 on request) and are tested to agree to machine precision.
+
+Every kernel here is expressed in terms of the execution context's ``xp``
+namespace, so the blocked schedules run unchanged on any
+:mod:`repro.backend` array backend (the operands must already live on
+that backend; the schedules themselves are host-side metadata).
 """
 
 from __future__ import annotations
@@ -25,6 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+
+from ..backend.context import ExecutionContext, resolve_context
 
 __all__ = [
     "Syr2kTask",
@@ -63,17 +70,27 @@ class Syr2kTask:
         return self.c1 - self.c0
 
 
-def symmetrize_lower(C: np.ndarray) -> None:
+def symmetrize_lower(C: np.ndarray, xp=np) -> None:
     """Mirror the (strict) lower triangle of ``C`` onto the upper, in place."""
     n = C.shape[0]
-    il = np.tril_indices(n, -1)
+    il = xp.tril_indices(n, -1)
     C[(il[1], il[0])] = C[il]
 
 
 def syr2k_reference(
-    C: np.ndarray, A: np.ndarray, B: np.ndarray, alpha: float = -1.0
+    C: np.ndarray,
+    A: np.ndarray,
+    B: np.ndarray,
+    alpha: float = -1.0,
+    ctx: ExecutionContext | None = None,
 ) -> np.ndarray:
-    """Dense oracle: ``C + alpha * (A B^T + B A^T)`` (returns a new array)."""
+    """Dense oracle: ``C + alpha * (A B^T + B A^T)`` (returns a new array).
+
+    Built entirely from operators, so it is backend-generic by
+    construction: the output lives wherever the operands do.  ``ctx`` is
+    accepted for call-site uniformity with the blocked variants.
+    """
+    del ctx  # operator-only kernel; nothing to dispatch
     P = A @ B.T
     return C + alpha * (P + P.T)
 
@@ -134,7 +151,7 @@ def square_schedule(n: int, block: int) -> list[Syr2kTask]:
 
 
 def _apply_task(
-    C: np.ndarray, A: np.ndarray, B: np.ndarray, alpha: float, t: Syr2kTask
+    C: np.ndarray, A: np.ndarray, B: np.ndarray, alpha: float, t: Syr2kTask, xp=np
 ) -> None:
     Ar, Br = A[t.r0 : t.r1], B[t.r0 : t.r1]
     Ac, Bc = A[t.c0 : t.c1], B[t.c0 : t.c1]
@@ -143,22 +160,32 @@ def _apply_task(
     if t.diagonal:
         # A tile touching the diagonal only owns entries with
         # global_row >= global_col, i.e. tril with offset r0 - c0.
-        upd = np.tril(upd, k=t.r0 - t.c0)
+        upd = xp.tril(upd, k=t.r0 - t.c0)
     tile += alpha * upd
 
 
 def syr2k_rect_blocked(
-    C: np.ndarray, A: np.ndarray, B: np.ndarray, alpha: float = -1.0, block: int = 256
+    C: np.ndarray,
+    A: np.ndarray,
+    B: np.ndarray,
+    alpha: float = -1.0,
+    block: int = 256,
+    ctx: ExecutionContext | None = None,
 ) -> None:
     """In-place cuBLAS-style syr2k on the lower triangle of ``C``."""
-    _run_schedule(C, A, B, alpha, rect_schedule(C.shape[0], block))
+    _run_schedule(C, A, B, alpha, rect_schedule(C.shape[0], block), ctx)
 
 
 def syr2k_square_blocked(
-    C: np.ndarray, A: np.ndarray, B: np.ndarray, alpha: float = -1.0, block: int = 256
+    C: np.ndarray,
+    A: np.ndarray,
+    B: np.ndarray,
+    alpha: float = -1.0,
+    block: int = 256,
+    ctx: ExecutionContext | None = None,
 ) -> None:
     """In-place Figure-7 square-block syr2k on the lower triangle of ``C``."""
-    _run_schedule(C, A, B, alpha, square_schedule(C.shape[0], block))
+    _run_schedule(C, A, B, alpha, square_schedule(C.shape[0], block), ctx)
 
 
 def _run_schedule(
@@ -167,12 +194,14 @@ def _run_schedule(
     B: np.ndarray,
     alpha: float,
     tasks: list[Syr2kTask],
+    ctx: ExecutionContext | None = None,
 ) -> None:
+    xp = resolve_context(ctx).xp
     n = C.shape[0]
-    if C.shape != (n, n) or A.shape[0] != n or B.shape != A.shape:
+    if tuple(C.shape) != (n, n) or A.shape[0] != n or tuple(B.shape) != tuple(A.shape):
         raise ValueError(
             f"shape mismatch: C {C.shape}, A {A.shape}, B {B.shape}"
         )
     for t in tasks:
-        _apply_task(C, A, B, alpha, t)
-    symmetrize_lower(C)
+        _apply_task(C, A, B, alpha, t, xp)
+    symmetrize_lower(C, xp)

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..backend.context import ExecutionContext, resolve_context
 from .householder import WYAccumulator, make_householder
 
 __all__ = ["TileReflector", "TileBandReductionResult", "tile_sbr", "tile_task_dag"]
@@ -122,7 +123,9 @@ def _tile_bounds(n: int, b: int) -> list[tuple[int, int]]:
     return [(t, min(t + b, n)) for t in range(0, n, b)]
 
 
-def tile_sbr(A: np.ndarray, b: int) -> TileBandReductionResult:
+def tile_sbr(
+    A: np.ndarray, b: int, ctx: ExecutionContext | None = None
+) -> TileBandReductionResult:
     """Reduce symmetric ``A`` to bandwidth ``b`` with tile kernels.
 
     Parameters
@@ -131,10 +134,15 @@ def tile_sbr(A: np.ndarray, b: int) -> TileBandReductionResult:
         Symmetric input (not modified).
     b : int
         Tile size = resulting bandwidth.
+    ctx : ExecutionContext, optional
+        Execution context; the two-sided TSMQR-style GEMM updates run on
+        its backend, the tile QR factorizations stay on the host.
     """
-    A = np.array(A, dtype=np.float64, copy=True)
+    ctx = resolve_context(ctx)
+    xp = ctx.xp
+    A = xp.array(ctx.asarray(A), copy=True)
     n = A.shape[0]
-    if A.shape != (n, n):
+    if tuple(A.shape) != (n, n):
         raise ValueError("A must be square")
     if b < 1:
         raise ValueError("tile size must be >= 1")
@@ -145,39 +153,45 @@ def tile_sbr(A: np.ndarray, b: int) -> TileBandReductionResult:
     for k in range(nt - 1):
         c0, c1 = tiles[k]
         r0, r1 = tiles[k + 1]
-        # GEQRT: QR of the first subdiagonal tile.
-        W, Y, R = _qr_wy(A[r0:r1, c0:c1])
+        # GEQRT: QR of the first subdiagonal tile (host-side).
+        W, Y, R = _qr_wy(ctx.to_numpy(A[r0:r1, c0:c1]))
         if W.shape[1] > 0:
             rows = np.arange(r0, r1)
-            A[r0:r1, c0:c1] = R
-            A[c0:c1, r0:r1] = R.T
+            A[r0:r1, c0:c1] = ctx.from_numpy(R)
+            A[c0:c1, r0:r1] = A[r0:r1, c0:c1].T
             # Two-sided on the trailing rows/cols (everything >= r0 except
             # the already-written panel columns).
-            _apply_two_sided_trailing(A, rows, W, Y, r0)
+            _apply_two_sided_trailing(
+                A, rows, ctx.from_numpy(W), ctx.from_numpy(Y), r0, xp
+            )
             reflectors.append(TileReflector(rows=rows, W=W, Y=Y, kind="geqrt"))
         # TSQRT: annihilate each lower tile against the triangle.
         for i in range(k + 2, nt):
             s0, s1 = tiles[i]
-            top = A[r0:r1, c0:c1]
-            bot = A[s0:s1, c0:c1]
+            top = ctx.to_numpy(A[r0:r1, c0:c1])
+            bot = ctx.to_numpy(A[s0:s1, c0:c1])
             stacked = np.vstack([top, bot])
             W, Y, R = _qr_wy(stacked)
             if W.shape[1] == 0:
                 continue
             rows = np.concatenate([np.arange(r0, r1), np.arange(s0, s1)])
-            A[r0:r1, c0:c1] = R[: r1 - r0]
+            A[r0:r1, c0:c1] = ctx.from_numpy(R[: r1 - r0])
             A[s0:s1, c0:c1] = 0.0
             A[c0:c1, r0:r1] = A[r0:r1, c0:c1].T
             A[c0:c1, s0:s1] = 0.0
-            _apply_two_sided_trailing(A, rows, W, Y, r0)
+            _apply_two_sided_trailing(
+                A, rows, ctx.from_numpy(W), ctx.from_numpy(Y), r0, xp
+            )
             reflectors.append(TileReflector(rows=rows, W=W, Y=Y, kind="tsqrt"))
 
-    _zero_off_band(A, b)
-    return TileBandReductionResult(band=A, bandwidth=b, reflectors=reflectors)
+    _zero_off_band(A, b, xp)
+    return TileBandReductionResult(
+        band=ctx.to_numpy(A), bandwidth=b, reflectors=reflectors
+    )
 
 
 def _apply_two_sided_trailing(
-    A: np.ndarray, rows: np.ndarray, W: np.ndarray, Y: np.ndarray, t0: int
+    A: np.ndarray, rows: np.ndarray, W: np.ndarray, Y: np.ndarray, t0: int, xp=np
 ) -> None:
     """Two-sided update restricted to the trailing region ``[t0:, t0:]``.
 
@@ -185,18 +199,18 @@ def _apply_two_sided_trailing(
     ``[R; 0]`` values, so only the trailing block may move; restricting
     the update also keeps earlier (finalized) columns untouched.
     """
-    sub = A[np.ix_(rows, range(t0, A.shape[0]))]
+    sub = A[xp.ix_(rows, np.arange(t0, A.shape[0]))]
     sub -= Y @ (W.T @ sub)
-    A[np.ix_(rows, range(t0, A.shape[0]))] = sub
-    sub = A[np.ix_(range(t0, A.shape[0]), rows)]
+    A[xp.ix_(rows, np.arange(t0, A.shape[0]))] = sub
+    sub = A[xp.ix_(np.arange(t0, A.shape[0]), rows)]
     sub -= (sub @ W) @ Y.T
-    A[np.ix_(range(t0, A.shape[0]), rows)] = sub
+    A[xp.ix_(np.arange(t0, A.shape[0]), rows)] = sub
 
 
-def _zero_off_band(A: np.ndarray, b: int) -> None:
+def _zero_off_band(A, b: int, xp=np) -> None:
     n = A.shape[0]
-    ii, jj = np.indices((n, n), sparse=True)
-    A[np.abs(ii - jj) > b] = 0.0
+    i = xp.arange(n)
+    A[xp.abs(i[:, None] - i[None, :]) > b] = 0.0
 
 
 def tile_task_dag(n: int, b: int) -> list[tuple[str, int, int]]:

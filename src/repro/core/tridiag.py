@@ -22,10 +22,12 @@ downstream EVD code is method-agnostic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..backend.base import ArrayBackend
+from ..backend.context import ExecutionContext, resolve_context
 from .bc_pipeline import PipelineStats, bulge_chase_pipelined
 from .bc_wavefront import bulge_chase_wavefront
 from .blocks import BandReductionResult
@@ -43,11 +45,16 @@ def auto_params(n: int) -> tuple[int, int]:
     """Reasonable ``(bandwidth, second_block)`` for an ``n x n`` problem.
 
     The paper uses ``b = 32, k = 1024`` at H100 scale; at test scale we
-    shrink both while preserving ``b | k`` and ``b << n``.
+    shrink both while preserving ``b | k``, ``k <= n`` and ``b << n``.
     """
     b = max(2, min(32, n // 8))
     groups = max(1, min(32, n // (4 * b)))
-    return b, b * groups
+    k = b * groups
+    if k > n:
+        # Tiny problems: keep k a multiple of b that fits in the matrix
+        # (k > n would make DBBR defer updates past the trailing edge).
+        k = max(b, (n // b) * b)
+    return b, k
 
 
 @dataclass
@@ -69,6 +76,8 @@ class TridiagResult:
     pipeline_stats: PipelineStats | None = None
     back_transform_method: str = "blocked"
     back_transform_group: int = 128
+    backend: str = "numpy"
+    ctx: ExecutionContext | None = field(default=None, repr=False, compare=False)
 
     @property
     def n(self) -> int:
@@ -92,6 +101,7 @@ class TridiagResult:
             X,
             method=self.back_transform_method,
             group_width=self.back_transform_group,
+            ctx=self.ctx,
         )
 
     def apply_q_transpose(self, X: np.ndarray) -> None:
@@ -111,6 +121,7 @@ class TridiagResult:
             X,
             method=self.back_transform_method,
             group_width=self.back_transform_group,
+            ctx=self.ctx,
         )
         self.bc_result.apply_q1_transpose(X)
 
@@ -135,6 +146,7 @@ def tridiagonalize(
     direct_block: int = 32,
     back_transform: str = "incremental",
     back_transform_group: int | None = None,
+    backend: str | ArrayBackend | ExecutionContext | None = None,
 ) -> TridiagResult:
     """Tridiagonalize symmetric ``A``.
 
@@ -170,6 +182,14 @@ def tridiagonalize(
     back_transform_group : int, optional
         Group width for the incremental back transform (defaults to the
         DBBR ``second_block``).
+    backend : str, ArrayBackend or ExecutionContext, optional
+        Where the hot-path array work executes: a backend name
+        (``"numpy"``/``"cupy"``/``"torch"``/``"auto"``), a backend
+        instance, or a prepared :class:`~repro.backend.ExecutionContext`
+        (e.g. carrying stage-timing hooks).  Default is host NumPy, which
+        is bit-identical to the historical implementation.  Dtype
+        coercion to float64 happens here, once — kernels below assert
+        float64 instead of converting.
 
     Raises
     ------
@@ -179,13 +199,23 @@ def tridiagonalize(
     """
     from .validation import check_symmetric
 
+    ctx = resolve_context(backend)
+    # The single dtype-coercion point of the pipeline: check_symmetric
+    # hands back a float64 host copy, everything below asserts float64.
     A = check_symmetric(A)
     n = A.shape[0]
 
     if method == "direct":
-        res = direct_tridiagonalize(A, block=direct_block)
+        with ctx.stage("tridiag_direct", n=n):
+            res = direct_tridiagonalize(A, block=direct_block)
         return TridiagResult(
-            d=res.d, e=res.e, method="direct", bandwidth=1, direct_result=res
+            d=res.d,
+            e=res.e,
+            method="direct",
+            bandwidth=1,
+            direct_result=res,
+            backend=ctx.backend.name,
+            ctx=ctx,
         )
 
     b_auto, k_auto = auto_params(n)
@@ -193,29 +223,35 @@ def tridiagonalize(
     b = max(1, min(b, max(n - 2, 1)))
 
     tile_res: TileBandReductionResult | None = None
-    if method == "dbbr":
-        k = int(second_block) if second_block is not None else max(k_auto, b)
-        k = max(b, (k // b) * b)
-        band_res = dbbr(A, b, k, syr2k_kind=syr2k_kind)
-    elif method == "sbr":
-        band_res = sbr(A, b)
-    elif method == "tile":
-        tile_res = tile_sbr(A, b)
-        band_res = None
-    else:
-        raise ValueError(f"unknown tridiagonalization method {method!r}")
+    with ctx.stage("band_reduction", n=n, method=method, bandwidth=b):
+        if method == "dbbr":
+            k = int(second_block) if second_block is not None else max(k_auto, b)
+            k = max(b, (k // b) * b)
+            band_res = dbbr(A, b, k, syr2k_kind=syr2k_kind, ctx=ctx)
+        elif method == "sbr":
+            band_res = sbr(A, b, ctx=ctx)
+        elif method == "tile":
+            tile_res = tile_sbr(A, b, ctx=ctx)
+            band_res = None
+        else:
+            raise ValueError(f"unknown tridiagonalization method {method!r}")
 
     band_matrix = tile_res.band if tile_res is not None else band_res.band
     stats: PipelineStats | None = None
-    if pipelined:
-        if bc_driver == "wavefront":
-            bc_res, stats = bulge_chase_wavefront(band_matrix, b, max_sweeps=max_sweeps)
-        elif bc_driver == "pipelined":
-            bc_res, stats = bulge_chase_pipelined(band_matrix, b, max_sweeps=max_sweeps)
+    with ctx.stage("bulge_chasing", n=n, bandwidth=b, pipelined=pipelined):
+        if pipelined:
+            if bc_driver == "wavefront":
+                bc_res, stats = bulge_chase_wavefront(
+                    band_matrix, b, max_sweeps=max_sweeps, ctx=ctx
+                )
+            elif bc_driver == "pipelined":
+                bc_res, stats = bulge_chase_pipelined(
+                    band_matrix, b, max_sweeps=max_sweeps, ctx=ctx
+                )
+            else:
+                raise ValueError(f"unknown bc_driver {bc_driver!r}")
         else:
-            raise ValueError(f"unknown bc_driver {bc_driver!r}")
-    else:
-        bc_res = bulge_chase(band_matrix, b)
+            bc_res = bulge_chase(band_matrix, b, ctx=ctx)
 
     group = (
         int(back_transform_group)
@@ -233,4 +269,6 @@ def tridiagonalize(
         pipeline_stats=stats,
         back_transform_method=back_transform,
         back_transform_group=group,
+        backend=ctx.backend.name,
+        ctx=ctx,
     )

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..backend.context import ExecutionContext, resolve_context
 from .qr_iteration import tridiag_qr_eigh
 from .secular import refine_z, secular_eigenvectors, solve_all_roots
 
@@ -56,6 +57,7 @@ def _rank_one_update(
     rho: float,
     Q: np.ndarray,
     stats: DCStats,
+    ctx: ExecutionContext,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Eigensystem of ``diag(D) + rho z z^T`` expressed through ``Q``.
 
@@ -67,7 +69,7 @@ def _rank_one_update(
     N = D.size
     if rho < 0.0:
         # eig(D + rho z z^T) = -rev(eig(-rev(D) + |rho| rev(z) rev(z)^T))
-        lam_r, Q_r = _rank_one_update(-D[::-1], z[::-1], -rho, Q[:, ::-1], stats)
+        lam_r, Q_r = _rank_one_update(-D[::-1], z[::-1], -rho, Q[:, ::-1], stats, ctx)
         return -lam_r[::-1], Q_r[:, ::-1]
 
     znorm2 = float(z @ z)
@@ -122,7 +124,14 @@ def _rank_one_update(
     lam_nd = roots.values
     zhat = refine_z(roots, z[nd], rho)
     S = secular_eigenvectors(roots, zhat)
-    Q_nd = Q[:, nd] @ S
+    if ctx.is_numpy:
+        Q_nd = Q[:, nd] @ S
+    else:
+        # The one BLAS3 shape of the merge — route it to the backend; the
+        # secular machinery around it is scalar-bound and stays host-side.
+        Q_nd = ctx.to_numpy(
+            ctx.from_numpy(np.ascontiguousarray(Q[:, nd])) @ ctx.from_numpy(S)
+        )
     stats.gemm_flops += 2.0 * Q.shape[0] * nd.size * nd.size
 
     lam_all = np.concatenate([lam_nd, D[df]])
@@ -155,6 +164,7 @@ def _dc_recurse(
     rows_only: bool,
     base_size: int,
     stats: DCStats,
+    ctx: ExecutionContext,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Returns ``(lam, Q, z_top, z_bottom)`` where ``Q`` is the carried
     basis (full or 2-row) and ``z_top``/``z_bottom`` are the first/last
@@ -174,15 +184,15 @@ def _dc_recurse(
     d2 = d[m:].copy()
     d1[-1] -= rho
     d2[0] -= rho
-    lam1, Q1, _, last1 = _dc_recurse(d1, e[: m - 1], rows_only, base_size, stats)
-    lam2, Q2, first2, _ = _dc_recurse(d2, e[m:], rows_only, base_size, stats)
+    lam1, Q1, _, last1 = _dc_recurse(d1, e[: m - 1], rows_only, base_size, stats, ctx)
+    lam2, Q2, first2, _ = _dc_recurse(d2, e[m:], rows_only, base_size, stats, ctx)
 
     D = np.concatenate([lam1, lam2])
     z = np.concatenate([last1, first2])
     Q = _block_diag_rows(Q1, Q2, rows_only)
     stats.merges += 1
     stats.sizes.append(n)
-    lam, Qout = _rank_one_update(D, z, rho, Q, stats)
+    lam, Qout = _rank_one_update(D, z, rho, Q, stats, ctx)
     return lam, Qout, Qout[0].copy(), Qout[-1].copy()
 
 
@@ -192,6 +202,7 @@ def dc_eigh(
     compute_vectors: bool = True,
     base_size: int = 24,
     return_stats: bool = False,
+    ctx: ExecutionContext | None = None,
 ):
     """Eigendecomposition of ``tridiag(d, e)`` by divide and conquer.
 
@@ -206,6 +217,9 @@ def dc_eigh(
         Subproblems at or below this size use QL iteration directly.
     return_stats : bool
         Also return a :class:`DCStats` with merge/deflation counters.
+    ctx : ExecutionContext, optional
+        Execution context; the per-level eigenvector merge GEMM runs on
+        its backend (the secular solves stay on the host).
 
     Returns
     -------
@@ -220,7 +234,9 @@ def dc_eigh(
     if base_size < 3:
         raise ValueError("base_size must be >= 3")
     stats = DCStats()
-    lam, Q, _, _ = _dc_recurse(d, e, not compute_vectors, base_size, stats)
+    lam, Q, _, _ = _dc_recurse(
+        d, e, not compute_vectors, base_size, stats, resolve_context(ctx)
+    )
     U = Q if compute_vectors else None
     if return_stats:
         return lam, U, stats

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.backend import ExecutionContext, get_backend
 from repro.band.ops import random_symmetric_band
 from repro.band.storage import LowerBandStorage, PackedBandStorage, dense_from_band
 from repro.core.bc_pipeline import bulge_chase_pipelined, pipeline_schedule
@@ -20,15 +21,51 @@ from repro.core.bulge_chasing_band import bulge_chase_band
 # larger sizes are covered by the residual/back-transform tests below.
 GRID = [(12, 2), (20, 3), (33, 4), (40, 5), (50, 7), (64, 8), (40, 16)]
 
+# Execution substrates the oracle grid runs on.  numpy must be
+# *bit*-identical to the sequential chase's trajectory handling; torch
+# (CPU) is importorskip-gated and held to the same 1e-12 gate (select
+# with `pytest -k backend`).
+BACKEND_NAMES = ["numpy", "torch"]
+
+
+@pytest.fixture(params=BACKEND_NAMES, ids=[f"backend-{b}" for b in BACKEND_NAMES])
+def backend_ctx(request) -> ExecutionContext:
+    if request.param != "numpy":
+        pytest.importorskip(request.param)
+    return ExecutionContext(backend=get_backend(request.param))
+
 
 class TestMatchesOracle:
     @pytest.mark.parametrize("n,b", GRID)
-    def test_d_e_match_sequential(self, rng, n, b):
+    def test_d_e_match_sequential(self, rng, backend_ctx, n, b):
         A = random_symmetric_band(n, b, rng)
         seq = bulge_chase(A, b)
-        wf, _ = bulge_chase_wavefront(LowerBandStorage.from_dense(A, b))
-        assert np.max(np.abs(wf.d - seq.d)) < 1e-12
-        assert np.max(np.abs(wf.e - seq.e)) < 1e-12
+        wf, _ = bulge_chase_wavefront(
+            LowerBandStorage.from_dense(A, b), ctx=backend_ctx
+        )
+        tol = 1e-12 if backend_ctx.is_numpy else 1e-10
+        assert np.max(np.abs(wf.d - seq.d)) < tol
+        assert np.max(np.abs(wf.e - seq.e)) < tol
+
+    def test_numpy_backend_bit_identical(self, rng):
+        # backend="numpy" is not merely close — it executes the same
+        # instruction stream as the default path, bit for bit.
+        n, b = 50, 7
+        A = random_symmetric_band(n, b, rng)
+        plain, _ = bulge_chase_wavefront(LowerBandStorage.from_dense(A, b))
+        ctx = ExecutionContext(backend=get_backend("numpy"))
+        viactx, _ = bulge_chase_wavefront(LowerBandStorage.from_dense(A, b), ctx=ctx)
+        assert np.array_equal(plain.d, viactx.d)
+        assert np.array_equal(plain.e, viactx.e)
+
+    def test_backend_reconstruction(self, rng, backend_ctx):
+        n, b = 40, 5
+        A = random_symmetric_band(n, b, rng)
+        wf, _ = bulge_chase_wavefront(A, b, ctx=backend_ctx)
+        Q1 = np.eye(n)
+        wf.apply_q1(Q1)
+        T = dense_from_band(wf.d, wf.e)
+        assert np.linalg.norm(Q1 @ T @ Q1.T - A) / np.linalg.norm(A) < 1e-12
 
     def test_accepts_packed_and_dense(self, rng):
         A = random_symmetric_band(24, 3, rng)

@@ -93,6 +93,25 @@ class TestDriver:
             b, k = auto_params(n)
             assert b >= 2 and k >= b and k % b == 0
 
+    @pytest.mark.parametrize("n", range(5, 17))
+    def test_auto_params_tiny_n_clamped(self, n):
+        # k must never exceed n (DBBR would defer updates past the
+        # trailing edge); the invariants still hold at every tiny size.
+        b, k = auto_params(n)
+        assert b >= 2 and k >= b and k % b == 0
+        assert k <= n
+
+    @pytest.mark.parametrize("n", range(5, 17))
+    def test_tiny_n_end_to_end(self, n):
+        # The defaulted driver must actually work at these sizes, not
+        # just produce admissible parameters.
+        A = make_symmetric(n, seed=60 + n)
+        res = tridiagonalize(A)
+        T = dense_from_band(res.d, res.e)
+        assert np.max(
+            np.abs(np.linalg.eigvalsh(T) - np.linalg.eigvalsh(A))
+        ) < 1e-11
+
     def test_unknown_method_rejected(self):
         with pytest.raises(ValueError):
             tridiagonalize(make_symmetric(10), method="quantum")
