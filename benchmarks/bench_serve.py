@@ -1,0 +1,121 @@
+"""SolverService load test — service throughput vs a serial eigh loop.
+
+Drives the :mod:`repro.serve` load generator on a mixed small-``n``
+workload (repeated matrices, half of them on the stacked dense tier)
+and reports throughput, latency percentiles, the batch-size histogram,
+cache hit rate, and in-flight coalescing.  ``[measured]`` wall time.
+Every service result is bit-compared against its serial counterpart, so
+the speedup is only reported next to a machine-checked determinism
+verdict.  Acceptance gate: >= 2x vs the serial loop at full scale.
+
+Run directly (CI smoke mode finishes in a few seconds):
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--smoke]
+
+Writes ``benchmarks/out/BENCH_serve.json`` (full mode only, or with
+``--json`` forced); the CI smoke asserts its schema via
+:data:`repro.serve.loadgen.ARTIFACT_SCHEMA_KEYS`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+
+from repro.bench.reporting import banner, write_json_artifact
+from repro.serve import ServiceConfig, WorkloadSpec, run_loadgen
+from repro.serve.loadgen import print_report
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+FULL_SPEC = WorkloadSpec(requests=200, sizes=(32, 64, 128), unique=80,
+                         dense_fraction=0.5, seed=0)
+SMOKE_SPEC = WorkloadSpec(requests=40, sizes=(24, 32), unique=16,
+                          dense_fraction=0.5, seed=0)
+
+
+def make_config(workers: int, backend: str) -> ServiceConfig:
+    # A bounded queue with the blocking policy self-paces submission, so
+    # the run exercises backpressure and the cache (later repeats of a
+    # completed matrix hit at submit time) as well as coalescing.
+    return ServiceConfig(
+        workers=workers,
+        backend=backend,
+        queue_limit=32,
+        backpressure="block",
+        max_batch=16,
+        batch_window_s=0.002,
+    )
+
+
+def run(
+    smoke: bool = False,
+    workers: int = 4,
+    write_json: bool | None = None,
+    backend: str = "numpy",
+) -> dict:
+    spec = SMOKE_SPEC if smoke else FULL_SPEC
+    config = make_config(workers, backend)
+    print(banner(
+        f"SolverService vs serial eigh loop [backend: {backend}]",
+        "measured",
+    ))
+    payload = run_loadgen(spec, config)
+    payload["provenance"] = "measured"
+    payload["smoke"] = smoke
+    print_report(payload)
+
+    if write_json if write_json is not None else not smoke:
+        path = write_json_artifact(OUT_DIR, "serve", payload, backend=backend)
+        print(f"\nartifact: {path}")
+    sv = payload["service"]
+    print(
+        f"\nheadline: {sv['speedup_vs_serial']:.2f}x vs serial "
+        f"({config.workers} workers, target {'—' if smoke else '2.0x'})"
+    )
+    return payload
+
+
+def test_serve_speedup_smoke(report):
+    """Benchmark-suite entry: even at smoke scale the service must beat
+    the serial loop while staying bit-identical to it."""
+    payload = run(smoke=True, write_json=False)
+    sv = payload["service"]
+    report(
+        f"{sv['speedup_vs_serial']:.2f}x, "
+        f"coalesced {sv['coalesced']}, "
+        f"cache hit rate {sv['cache']['hit_rate']:.1%}"
+    )
+    assert payload["determinism"]["bit_identical_to_serial"]
+    assert sv["speedup_vs_serial"] > 1.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small workload, no JSON artifact (CI gate)",
+    )
+    ap.add_argument("--workers", type=int, default=4)
+    ap.add_argument(
+        "--json",
+        action="store_true",
+        help="write the JSON artifact even in smoke mode",
+    )
+    ap.add_argument(
+        "--backend",
+        default="numpy",
+        choices=["numpy", "cupy", "torch", "auto"],
+        help="array backend for the worker contexts",
+    )
+    args = ap.parse_args(argv)
+    payload = run(smoke=args.smoke, workers=args.workers,
+                  write_json=args.json or None, backend=args.backend)
+    if not payload["determinism"]["bit_identical_to_serial"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,12 +20,17 @@ Public API highlights
     Pluggable array backends (NumPy default, optional CuPy/PyTorch) and
     the :class:`~repro.backend.ExecutionContext` threaded through the
     pipeline (``eigh(A, backend="torch")``).
+``repro.serve``
+    The request-serving layer: :class:`~repro.serve.SolverService` with
+    future-based submission, adaptive micro-batching (stacked dense tier
+    for small ``n``), a content-addressed result cache, backpressure and
+    metrics (``svc.submit(A).result()``).
 ``repro.gpusim`` / ``repro.models``
     The calibrated GPU performance simulator and the analytical models
     that regenerate the paper's tables and figures at device scale.
 """
 
-from . import backend, band, core, eig
+from . import backend, band, core, eig, serve
 from .backend import (
     ArrayBackend,
     BackendUnavailable,
@@ -41,10 +46,13 @@ from .core import (
     eigh_generalized,
     eigh_hermitian,
     eigh_partial,
+    eigh_stacked,
+    matrix_fingerprint,
     sbr,
     tridiagonalize,
 )
 from .eig import dc_eigh, eigh_bisect, tridiag_qr_eigh
+from .serve import ServiceConfig, SolverService
 
 __version__ = "1.0.0"
 
@@ -67,7 +75,12 @@ __all__ = [
     "eigh_generalized",
     "eigh_hermitian",
     "eigh_partial",
+    "eigh_stacked",
+    "matrix_fingerprint",
     "sbr",
+    "serve",
+    "ServiceConfig",
+    "SolverService",
     "tridiag_qr_eigh",
     "tridiagonalize",
     "__version__",

@@ -23,6 +23,7 @@ so every kernel keeps working standalone exactly as before.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -71,13 +72,39 @@ class WorkspacePool:
     leading dimension is a high-water mark).  Buffers are *uninitialized*
     — callers must fully overwrite what they read, exactly as with
     ``np.empty``.
+
+    A pool (and the :class:`ExecutionContext` that owns it) is **not**
+    thread-safe: two threads sharing one pool would hand out overlapping
+    scratch buffers and silently corrupt each other's intermediates.  The
+    pool therefore binds to the first thread that uses it and raises a
+    :class:`RuntimeError` on use from any other thread — give each thread
+    its own context (what :class:`repro.serve.SolverService` workers do).
     """
 
     def __init__(self, backend: ArrayBackend):
         self._backend = backend
         self._buffers: dict[str, Any] = {}
+        self._owner_thread: int | None = None
+        self._owner_name: str = ""
+
+    def _assert_owner(self, what: str = "WorkspacePool") -> None:
+        """Bind to the calling thread on first use; fail loudly after."""
+        ident = threading.get_ident()
+        if self._owner_thread is None:
+            self._owner_thread = ident
+            self._owner_name = threading.current_thread().name
+        elif self._owner_thread != ident:
+            raise RuntimeError(
+                f"{what} is owned by thread {self._owner_name!r} "
+                f"(id {self._owner_thread}) but was used from thread "
+                f"{threading.current_thread().name!r} (id {ident}). "
+                "ExecutionContext and its WorkspacePool are not thread-safe "
+                "— construct one context per thread (repro.serve workers do "
+                "exactly this; see docs/serve.md)."
+            )
 
     def stack(self, tag: str, shape: tuple[int, ...], dtype=np.float64) -> Any:
+        self._assert_owner()
         buf = self._buffers.get(tag)
         if (
             buf is None
@@ -112,6 +139,11 @@ class ExecutionContext:
         Resolved through :func:`repro.backend.get_backend`.
     hooks : iterable of callables, optional
         Each is invoked with a :class:`StageEvent` at stage start/end.
+
+    A context is single-threaded: it binds to the first thread that runs
+    a stage or draws a workspace buffer, and any use from another thread
+    raises ``RuntimeError`` (see :class:`WorkspacePool`).  Concurrent
+    callers each construct their own context.
     """
 
     def __init__(
@@ -160,6 +192,7 @@ class ExecutionContext:
         Device backends are synchronized before the end timestamp so
         asynchronous kernels are not under-counted.
         """
+        self.workspace._assert_owner("ExecutionContext")
         self.emit(StageEvent(name, "start", self.backend.name, meta=meta))
         t0 = time.perf_counter()
         try:

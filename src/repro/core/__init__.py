@@ -35,7 +35,7 @@ from .bulge_chasing import (
 )
 from .dbbr import dbbr
 from .direct_tridiag import DirectTridiagResult, direct_tridiagonalize
-from .evd import EVDResult, eigh, eigh_partial
+from .evd import EVDResult, eigh, eigh_partial, eigh_stacked
 from .extensions import (
     cholesky_lower,
     eigh_generalized,
@@ -70,6 +70,14 @@ from .syr2k import (
     syr2k_square_blocked,
 )
 from .tridiag import TridiagResult, auto_params, tridiagonalize
+from .validation import (
+    EmptyMatrixError,
+    NonFiniteError,
+    NonSquareError,
+    SymmetryError,
+    check_symmetric,
+    matrix_fingerprint,
+)
 
 __all__ = [
     "BCWavefrontGroup",
@@ -113,11 +121,18 @@ __all__ = [
     "cholesky_lower",
     "dbbr",
     "direct_tridiagonalize",
+    "check_symmetric",
     "eigh",
     "eigh_generalized",
     "eigh_hermitian",
     "eigh_partial",
+    "eigh_stacked",
+    "EmptyMatrixError",
     "explicit_q",
+    "matrix_fingerprint",
+    "NonFiniteError",
+    "NonSquareError",
+    "SymmetryError",
     "golub_kahan_tridiagonal",
     "larft",
     "load_tridiag",

@@ -34,8 +34,9 @@ from ..eig.dc import dc_eigh
 from ..eig.qr_iteration import tridiag_qr_eigh
 from ..eig.sturm import eigh_bisect, eigvals_bisect, inverse_iteration
 from .tridiag import TridiagResult, tridiagonalize
+from .validation import EmptyMatrixError, NonSquareError, check_symmetric
 
-__all__ = ["EVDResult", "eigh", "eigh_partial"]
+__all__ = ["EVDResult", "eigh", "eigh_partial", "eigh_stacked"]
 
 _PRESETS = {
     "proposed": dict(
@@ -53,11 +54,14 @@ _PRESETS = {
 @dataclass
 class EVDResult:
     """Eigenvalues (ascending) and, optionally, orthonormal eigenvectors
-    (columns), plus the tridiagonalization artifacts for inspection."""
+    (columns), plus the tridiagonalization artifacts for inspection.
+
+    ``tridiag`` is ``None`` for the ``method="dense"`` tier, which never
+    forms an explicit tridiagonal factorization."""
 
     eigenvalues: np.ndarray
     eigenvectors: np.ndarray | None
-    tridiag: TridiagResult
+    tridiag: TridiagResult | None
     solver: str
 
     @property
@@ -90,6 +94,64 @@ def _solve_tridiagonal(
     raise ValueError(f"unknown tridiagonal solver {solver!r}")
 
 
+def eigh_stacked(
+    As: np.ndarray,
+    compute_vectors: bool = True,
+    backend: str | ArrayBackend | ExecutionContext | None = None,
+) -> list[EVDResult]:
+    """Solve ``m`` independent small eigenproblems in one stacked call.
+
+    ``As`` is an ``(m, n, n)`` stack of symmetric matrices; the whole
+    stack is handed to the backend's dense ``eigh`` in a single batched
+    call (LAPACK ``dsyevd`` per slice under NumPy, genuinely batched
+    ``syevj``-style kernels under torch/cupy) — the serving layer's
+    small-``n`` fast path, aggregating many tiny solves into one fat
+    launch exactly as the paper aggregates panel updates into one
+    ``syr2k``.
+
+    Each item is validated and symmetrized independently with the same
+    arithmetic as a single :func:`eigh` call, and the batched kernel is
+    *batch-invariant*: item ``i``'s result is bitwise independent of the
+    other slices in the stack, so ``eigh_stacked(As)[i]`` is bit-identical
+    to ``eigh(As[i], method="dense")`` (the determinism contract of
+    :class:`repro.serve.SolverService`; property-tested).
+
+    Returns one :class:`EVDResult` per slice (``tridiag`` is ``None`` —
+    no tridiagonal factorization exists on this path).
+    """
+    As = np.asarray(As)
+    if As.ndim != 3 or As.shape[1] != As.shape[2]:
+        raise NonSquareError(
+            f"expected an (m, n, n) stack of square matrices, got shape {As.shape}"
+        )
+    if As.shape[0] == 0:
+        raise EmptyMatrixError("expected a non-empty stack, got zero matrices")
+    ctx = resolve_context(backend)
+    m, n = As.shape[0], As.shape[1]
+    # Per-item validation/symmetrization: identical arithmetic to the
+    # single-call path (stacked norms would change summation order).
+    clean = np.empty((m, n, n), dtype=np.float64)
+    for i in range(m):
+        clean[i] = check_symmetric(As[i])
+    with ctx.stage("dense_eigh", m=m, n=n):
+        w, V = ctx.backend.eigh(ctx.from_numpy(clean))
+        lam = ctx.to_numpy(w)
+        vecs = ctx.to_numpy(V) if compute_vectors else None
+    return [
+        EVDResult(
+            eigenvalues=np.array(lam[i], copy=True),
+            eigenvectors=(
+                np.array(vecs[i], dtype=np.float64, copy=True)
+                if vecs is not None
+                else None
+            ),
+            tridiag=None,
+            solver="dense",
+        )
+        for i in range(m)
+    ]
+
+
 def eigh(
     A: np.ndarray,
     method: str = "proposed",
@@ -104,9 +166,12 @@ def eigh(
     ----------
     A : (n, n) ndarray
         Symmetric input (not modified).
-    method : {"proposed", "magma", "cusolver", "plasma"} or tridiagonalize method
+    method : {"proposed", "magma", "cusolver", "plasma", "dense"} or tridiagonalize method
         Pipeline preset (see module docstring); ``"dbbr"``/``"sbr"``/
         ``"direct"`` are also accepted and passed straight through.
+        ``"dense"`` bypasses the tridiagonalization pipeline entirely and
+        calls the backend's batched dense solver via :func:`eigh_stacked`
+        — the small-``n`` serving tier (``result.tridiag`` is ``None``).
     compute_vectors : bool
         Compute eigenvectors (the expensive back-transformation path).
     solver : {"dc", "qr", "bisect"}
@@ -125,6 +190,11 @@ def eigh(
     EVDResult
     """
     ctx = resolve_context(backend)
+    if method == "dense":
+        A = np.asarray(A)
+        if A.ndim != 2 or A.shape[0] != A.shape[1]:
+            raise NonSquareError(f"expected a square matrix, got shape {A.shape}")
+        return eigh_stacked(A[None], compute_vectors=compute_vectors, backend=ctx)[0]
     preset = _PRESETS.get(method)
     if preset is not None:
         kwargs = {**preset, **tridiag_kwargs}
@@ -163,6 +233,11 @@ def eigh_partial(
     entries/columns.
     """
     lo, hi = int(indices[0]), int(indices[1])
+    A = np.asarray(A)
+    if A.ndim != 2 or A.shape[0] != A.shape[1]:
+        raise NonSquareError(f"expected a square matrix, got shape {A.shape}")
+    if A.shape[0] == 0:
+        raise EmptyMatrixError("expected a non-empty matrix, got shape (0, 0)")
     A = np.asarray(A, dtype=np.float64)
     n = A.shape[0]
     if not (0 <= lo <= hi < n):

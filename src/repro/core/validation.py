@@ -4,15 +4,34 @@ Real-world matrices arrive slightly asymmetric (accumulated roundoff from
 whoever built them) or outright broken (NaN/Inf).  The drivers accept the
 former — the pipeline only reads the lower triangle anyway, and we
 symmetrize — but refuse quietly wrong inputs: non-finite entries, a
-non-square array, or asymmetry large enough that "the symmetric
-eigenproblem of A" is not a well-posed request.
+non-square array, an empty matrix, or asymmetry large enough that "the
+symmetric eigenproblem of A" is not a well-posed request.
+
+Every rejection is a *typed* ``ValueError`` subclass so callers (and the
+serving layer, which must map a bad request to a failed future without
+tearing down the worker) can distinguish the failure modes without
+string-matching messages.
+
+:func:`matrix_fingerprint` is the content-addressing primitive of the
+result cache in :mod:`repro.serve`: a stable hash over shape, dtype and
+raw bytes, so two bitwise-identical inputs share a cache entry and any
+single-bit difference does not.
 """
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
-__all__ = ["check_symmetric", "SymmetryError"]
+__all__ = [
+    "check_symmetric",
+    "matrix_fingerprint",
+    "SymmetryError",
+    "NonSquareError",
+    "NonFiniteError",
+    "EmptyMatrixError",
+]
 
 #: Relative asymmetry beyond which the input is rejected rather than
 #: symmetrized (||A - A^T|| / ||A||).
@@ -24,6 +43,19 @@ class SymmetryError(ValueError):
     eigenproblem."""
 
 
+class NonSquareError(ValueError):
+    """The input is not a 2-D square matrix."""
+
+
+class NonFiniteError(ValueError):
+    """The input contains NaN or Inf entries."""
+
+
+class EmptyMatrixError(ValueError):
+    """The input has zero rows/columns — there is no eigenproblem to
+    solve (and the kernels' ``n >= 1`` assumptions would trip)."""
+
+
 def check_symmetric(
     A: np.ndarray,
     tol: float = DEFAULT_SYMMETRY_TOL,
@@ -33,8 +65,12 @@ def check_symmetric(
 
     Raises
     ------
-    ValueError
-        Not 2-D square, or contains NaN/Inf.
+    NonSquareError
+        Not a 2-D square array.
+    EmptyMatrixError
+        Square but with zero rows/columns.
+    NonFiniteError
+        Contains NaN or Inf.
     SymmetryError
         ``||A - A^T||_F > tol * ||A||_F``.
 
@@ -46,10 +82,12 @@ def check_symmetric(
     """
     A = np.asarray(A)
     if A.ndim != 2 or A.shape[0] != A.shape[1]:
-        raise ValueError(f"expected a square matrix, got shape {A.shape}")
+        raise NonSquareError(f"expected a square matrix, got shape {A.shape}")
+    if A.shape[0] == 0:
+        raise EmptyMatrixError("expected a non-empty matrix, got shape (0, 0)")
     A = np.array(A, dtype=np.float64, copy=True)
     if not np.all(np.isfinite(A)):
-        raise ValueError("matrix contains NaN or Inf entries")
+        raise NonFiniteError("matrix contains NaN or Inf entries")
     norm = np.linalg.norm(A)
     asym = np.linalg.norm(A - A.T)
     if asym > tol * max(norm, np.finfo(np.float64).tiny):
@@ -60,3 +98,24 @@ def check_symmetric(
     if asym > 0.0 and symmetrize:
         A = (A + A.T) / 2.0
     return A
+
+
+def matrix_fingerprint(A: np.ndarray) -> str:
+    """Stable content hash of an array: shape + dtype + raw bytes.
+
+    Two arrays fingerprint identically iff they are bitwise identical
+    (same dtype, same shape, same element bytes) — the property the serve
+    result cache needs for deterministic replay.  Note that dtype is part
+    of the identity: a float32 matrix and its float64 widening hash
+    differently even when numerically equal, which errs on the side of
+    recomputing rather than conflating.
+
+    Returns a short hex digest (BLAKE2b-128), cheap enough to compute per
+    request at serving sizes.
+    """
+    A = np.asarray(A)
+    h = hashlib.blake2b(digest_size=16)
+    h.update(str(A.dtype).encode())
+    h.update(np.asarray(A.shape, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(A).tobytes())
+    return h.hexdigest()

@@ -1,0 +1,239 @@
+"""Bounded priority queue + adaptive micro-batching for the solver service.
+
+The paper's central discipline — aggregate many small, inefficient
+operations into one large, efficient one — applied at the request level:
+compatible solve requests (same ``n``, same solver params, same backend)
+that arrive close together are coalesced into one *batch* and executed
+together, either as a single stacked ``(m, n, n)`` dense call (the
+small-``n`` fast path, :func:`repro.core.evd.eigh_stacked`) or as a run
+of per-item pipeline solves that amortize one worker's warm
+:class:`~repro.backend.ExecutionContext`.
+
+Batching must not buy throughput with unconditional latency: the batch
+window is **adaptive**.  After popping the highest-priority request, a
+worker waits up to ``window_s`` for more compatible requests *only when
+the observed arrival rate makes another arrival plausible within the
+window* (an EWMA of inter-arrival times, maintained on ``put``).  An
+idle service therefore serves single requests with zero added latency,
+while a loaded service coalesces aggressively — the request-level
+analogue of the bulge-chasing wavefront, which stacks whatever tasks the
+current round actually has.
+
+Backpressure is the queue's second job: ``put`` on a full queue either
+blocks (``"block"``), raises immediately (``"reject"``), or blocks up to
+a deadline (``"timeout"``) — the three standard policies a caller can
+pick from depending on whether it prefers latency, availability, or
+bounded staleness.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+__all__ = [
+    "BatchPolicy",
+    "RequestQueue",
+    "QueueClosed",
+    "QueueFull",
+    "QueueTimeout",
+]
+
+
+class QueueClosed(RuntimeError):
+    """The queue no longer accepts work (service closed)."""
+
+
+class QueueFull(RuntimeError):
+    """``reject`` backpressure: the queue is at capacity."""
+
+
+class QueueTimeout(RuntimeError):
+    """``timeout`` backpressure: capacity did not free up in time."""
+
+
+class BatchPolicy:
+    """Adaptive micro-batching knobs.
+
+    Parameters
+    ----------
+    max_batch : int
+        Hard cap on requests coalesced into one execution.
+    window_s : float
+        Longest a worker will hold an under-full batch open waiting for
+        more compatible arrivals.
+    adaptive : bool
+        When True (default), the window is only opened while the EWMA
+        request inter-arrival time is at most ``window_s`` — i.e. when
+        waiting is statistically likely to pay.  When False, the window
+        is always opened (predictable, benchmark-friendly behaviour).
+    """
+
+    def __init__(self, max_batch: int = 32, window_s: float = 0.002,
+                 adaptive: bool = True) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.max_batch = int(max_batch)
+        self.window_s = float(window_s)
+        self.adaptive = bool(adaptive)
+
+    def should_wait(self, ewma_interarrival_s: float | None) -> bool:
+        if self.window_s <= 0.0 or self.max_batch <= 1:
+            return False
+        if not self.adaptive:
+            return True
+        return (
+            ewma_interarrival_s is not None
+            and ewma_interarrival_s <= self.window_s
+        )
+
+
+class RequestQueue:
+    """Bounded priority queue with batched dequeue.
+
+    Entries are arbitrary objects ordered by a ``(priority, seq)`` key
+    (lower first; ``seq`` preserves FIFO within a priority level).  The
+    queue is intentionally a plain list under a condition variable — at
+    serving depths (hundreds) linear scans are cheaper than maintaining
+    a heap that supports arbitrary removal for batch collection.
+    """
+
+    def __init__(self, limit: int = 256) -> None:
+        if limit < 1:
+            raise ValueError("queue limit must be >= 1")
+        self.limit = int(limit)
+        self._items: list[tuple[tuple[int, int], Any]] = []
+        self._cond = threading.Condition()
+        self._closed = False
+        self._draining = True  # on close: serve out remaining items?
+        self._last_arrival: float | None = None
+        self._ewma_interarrival: float | None = None
+
+    # -- producer side -------------------------------------------------
+    def put(self, item: Any, priority: int, seq: int,
+            policy: str = "block", timeout_s: float | None = None) -> None:
+        """Enqueue under the given backpressure policy.
+
+        Raises :class:`QueueClosed`, :class:`QueueFull` (policy
+        ``"reject"``) or :class:`QueueTimeout` (policy ``"timeout"``).
+        """
+        deadline = (
+            time.monotonic() + timeout_s
+            if (policy == "timeout" and timeout_s is not None)
+            else None
+        )
+        with self._cond:
+            while True:
+                if self._closed:
+                    raise QueueClosed("queue is closed to new work")
+                if len(self._items) < self.limit:
+                    break
+                if policy == "reject":
+                    raise QueueFull(
+                        f"queue at capacity ({self.limit}); backpressure "
+                        "policy 'reject' refuses the request"
+                    )
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0.0 or not self._cond.wait(remaining):
+                        if len(self._items) >= self.limit:
+                            raise QueueTimeout(
+                                f"queue stayed at capacity ({self.limit}) for "
+                                f"{timeout_s:g}s (backpressure policy 'timeout')"
+                            )
+                else:
+                    self._cond.wait()
+            now = time.monotonic()
+            if self._last_arrival is not None:
+                dt = now - self._last_arrival
+                self._ewma_interarrival = (
+                    dt
+                    if self._ewma_interarrival is None
+                    else 0.8 * self._ewma_interarrival + 0.2 * dt
+                )
+            self._last_arrival = now
+            self._items.append(((int(priority), int(seq)), item))
+            self._cond.notify_all()
+
+    # -- consumer side -------------------------------------------------
+    def pop_batch(
+        self,
+        signature: Callable[[Any], Any],
+        policy: BatchPolicy,
+    ) -> tuple[list[Any], int] | None:
+        """Dequeue the highest-priority request plus up to
+        ``policy.max_batch - 1`` compatible ones (same ``signature``).
+
+        Blocks while the queue is empty; returns ``None`` when the queue
+        is closed and (in drain mode) emptied — the worker-exit signal —
+        and otherwise ``(batch, queue_depth_at_dequeue)``.  A signature
+        of ``None`` marks a request unbatchable: it is always returned
+        alone.
+        """
+        with self._cond:
+            while not self._items:
+                if self._closed:
+                    return None
+                self._cond.wait()
+            if self._closed and not self._draining:
+                return None
+
+            depth_at_dequeue = len(self._items)
+            first = min(self._items, key=lambda entry: entry[0])
+            self._items.remove(first)
+            batch = [first[1]]
+            sig = signature(first[1])
+            if sig is not None:
+                self._collect_compatible(batch, sig, signature, policy.max_batch)
+                if (
+                    len(batch) < policy.max_batch
+                    and not self._closed
+                    and policy.should_wait(self._ewma_interarrival)
+                ):
+                    deadline = time.monotonic() + policy.window_s
+                    while len(batch) < policy.max_batch and not self._closed:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0.0:
+                            break
+                        self._cond.wait(remaining)
+                        self._collect_compatible(
+                            batch, sig, signature, policy.max_batch
+                        )
+            self._cond.notify_all()  # capacity freed: wake blocked producers
+            return batch, depth_at_dequeue
+
+    def _collect_compatible(self, batch, sig, signature, max_batch) -> None:
+        if len(batch) >= max_batch:
+            return
+        kept: list[tuple[tuple[int, int], Any]] = []
+        for entry in sorted(self._items, key=lambda e: e[0]):
+            if len(batch) < max_batch and signature(entry[1]) == sig:
+                batch.append(entry[1])
+            else:
+                kept.append(entry)
+        self._items = kept
+
+    # -- shutdown ------------------------------------------------------
+    def close(self, drain: bool = True) -> list[Any]:
+        """Refuse new work.  With ``drain`` the queued items stay and are
+        served out; without, they are removed and returned to the caller
+        (who cancels their futures).  Returns the removed items."""
+        with self._cond:
+            self._closed = True
+            self._draining = bool(drain)
+            removed: list[Any] = []
+            if not drain:
+                removed = [item for _, item in self._items]
+                self._items.clear()
+            self._cond.notify_all()
+            return removed
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    @property
+    def ewma_interarrival_s(self) -> float | None:
+        with self._cond:
+            return self._ewma_interarrival

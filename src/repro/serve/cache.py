@@ -1,0 +1,135 @@
+"""Content-addressed LRU result cache for the solver service.
+
+Serving traffic repeats itself: the same covariance matrix, the same
+graph Laplacian, the same test problem arrives again and again.  Because
+the whole pipeline is deterministic, a solve is a pure function of
+``(matrix bytes, solver params, backend)`` — so results can be replayed
+bit-identically from a cache keyed by
+:func:`repro.core.validation.matrix_fingerprint` plus the canonicalized
+parameter set.
+
+Replay is *bit-identical* by construction: the cache stores the exact
+:class:`~repro.core.evd.EVDResult` the first computation produced, with
+its result arrays frozen (``writeable=False``) so no caller can corrupt
+the shared entry.  A hit therefore returns the same bits a fresh direct
+``eigh`` call would produce (property-tested in
+``tests/serve/test_determinism.py``).
+
+Only parameter sets made of JSON-scalar values are cacheable — anything
+exotic (a live backend object, a callable) silently bypasses the cache
+rather than risking a wrong-key collision.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any
+
+import numpy as np
+
+from ..core.validation import matrix_fingerprint
+
+__all__ = ["ResultCache", "make_cache_key", "canonical_params"]
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def canonical_params(params: dict[str, Any]) -> str | None:
+    """Stable string form of a solver-parameter dict, or ``None`` when the
+    params contain non-scalar values and must not be cache-keyed."""
+    items = []
+    for key in sorted(params):
+        value = params[key]
+        if isinstance(value, bool) or not isinstance(value, _SCALARS):
+            if not isinstance(value, _SCALARS):
+                return None
+        items.append(f"{key}={value!r}")
+    return ";".join(items)
+
+
+def make_cache_key(A: np.ndarray, params: dict[str, Any], backend: str) -> str | None:
+    """Cache key for ``eigh(A, **params)`` on ``backend``; ``None`` when
+    the request is not cacheable (non-scalar params)."""
+    canon = canonical_params(params)
+    if canon is None:
+        return None
+    return f"{matrix_fingerprint(A)}|{backend}|{canon}"
+
+
+def _freeze(result) -> None:
+    """Make the shared result arrays read-only (cache entries are handed
+    to every future hit; a writable array would let one caller corrupt
+    another's replay)."""
+    for arr in (result.eigenvalues, result.eigenvectors):
+        if isinstance(arr, np.ndarray):
+            arr.setflags(write=False)
+    tri = result.tridiag
+    if tri is not None:
+        for arr in (tri.d, tri.e):
+            if isinstance(arr, np.ndarray):
+                arr.setflags(write=False)
+
+
+class ResultCache:
+    """Bounded LRU mapping cache keys to solved results.
+
+    ``max_entries <= 0`` disables caching entirely (every ``get`` misses,
+    ``put`` drops).  Hit/miss/eviction counters are exposed through
+    :meth:`stats` and surface in ``SolverService.stats()``.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        self.max_entries = int(max_entries)
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: str | None):
+        """Return the cached result (promoting it to most-recent) or None."""
+        if key is None or self.max_entries <= 0:
+            return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
+
+    def put(self, key: str | None, result) -> None:
+        if key is None or self.max_entries <= 0:
+            return
+        _freeze(result)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = result
+                return
+            self._entries[key] = result
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            lookups = self._hits + self._misses
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "hit_rate": (self._hits / lookups) if lookups else 0.0,
+            }

@@ -1,0 +1,237 @@
+"""Load generator + benchmark harness for :class:`~repro.serve.SolverService`.
+
+Builds a reproducible mixed-size request stream (a pool of unique
+symmetric matrices, sampled with repetition — serving traffic repeats
+itself, which is what the result cache exists for), then measures
+
+* the **serial baseline**: a plain loop of direct ``repro.eigh`` calls
+  with each request's own options — exactly what an application without
+  the service would do;
+* the **service**: the same stream pushed through ``submit``, timed from
+  first submission to last future resolution.
+
+Fairness: both sides solve the identical stream with identical
+effective options; the service's edge comes from result caching, worker
+overlap, and stacked micro-batches — the quantities the report records
+(hit rate, batch-size histogram, latency percentiles), not hides.  The
+harness also bit-compares every service result against its serial
+counterpart, so the throughput number is only reported alongside a
+machine-checked determinism verdict.
+
+Used by ``benchmarks/bench_serve.py`` and the ``serve-bench`` CLI
+subcommand; the CI smoke asserts the JSON schema of the emitted
+artifact (:data:`ARTIFACT_SCHEMA_KEYS`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.validation import matrix_fingerprint
+from .service import ServiceConfig, SolverService
+
+__all__ = [
+    "WorkloadSpec",
+    "make_workload",
+    "run_serial",
+    "run_service",
+    "run_loadgen",
+    "ARTIFACT_SCHEMA_KEYS",
+]
+
+#: Top-level payload keys every BENCH_serve.json artifact must carry —
+#: the schema contract the CI smoke job asserts.
+ARTIFACT_SCHEMA_KEYS = ("workload", "serial", "service", "determinism")
+
+
+@dataclass
+class WorkloadSpec:
+    """A reproducible request stream.
+
+    ``requests`` draws from a pool of ``unique`` symmetric matrices with
+    sizes cycling through ``sizes``.  A ``dense_fraction`` of the pool is
+    tagged ``method="dense"`` (the stacked fast-path tier); the rest use
+    the library's default pipeline.  ``compute_vectors`` applies to every
+    request.
+    """
+
+    requests: int = 200
+    sizes: tuple[int, ...] = (32, 64, 128)
+    unique: int = 80
+    dense_fraction: float = 0.5
+    compute_vectors: bool = True
+    seed: int = 0
+
+
+@dataclass
+class _WorkItem:
+    A: np.ndarray
+    opts: dict
+    fingerprint: str = ""
+
+
+@dataclass
+class Workload:
+    spec: WorkloadSpec
+    pool: list[_WorkItem] = field(default_factory=list)
+    stream: list[_WorkItem] = field(default_factory=list)
+
+    @property
+    def fingerprint(self) -> str:
+        """One digest over the whole pool (recorded in the artifact)."""
+        h = hashlib.blake2b(digest_size=16)
+        for item in self.pool:
+            h.update(item.fingerprint.encode())
+        return h.hexdigest()
+
+
+def make_workload(spec: WorkloadSpec) -> Workload:
+    rng = np.random.default_rng(spec.seed)
+    pool: list[_WorkItem] = []
+    for i in range(spec.unique):
+        n = spec.sizes[i % len(spec.sizes)]
+        A = rng.standard_normal((n, n))
+        A = (A + A.T) / 2.0
+        opts: dict = {"compute_vectors": spec.compute_vectors}
+        if rng.random() < spec.dense_fraction:
+            opts["method"] = "dense"
+        pool.append(_WorkItem(A=A, opts=opts, fingerprint=matrix_fingerprint(A)))
+    stream = [pool[int(i)] for i in rng.integers(0, spec.unique, spec.requests)]
+    return Workload(spec=spec, pool=pool, stream=stream)
+
+
+def run_serial(workload: Workload) -> tuple[float, list]:
+    """Baseline: one direct ``eigh`` call per request, in order."""
+    from ..core.evd import eigh
+
+    results = []
+    t0 = time.perf_counter()
+    for item in workload.stream:
+        results.append(eigh(item.A, **item.opts))
+    return time.perf_counter() - t0, results
+
+
+def run_service(
+    workload: Workload, config: ServiceConfig
+) -> tuple[float, list, dict]:
+    """Push the stream through a fresh service; returns wall time from
+    first submit to last result, the results, and the service stats."""
+    with SolverService(config) as svc:
+        t0 = time.perf_counter()
+        futures = [svc.submit(item.A, **item.opts) for item in workload.stream]
+        results = [f.result() for f in futures]
+        wall = time.perf_counter() - t0
+        stats = svc.stats()
+    return wall, results, stats
+
+
+def _bit_identical(serial_results, service_results) -> bool:
+    for ref, got in zip(serial_results, service_results):
+        if not np.array_equal(ref.eigenvalues, got.eigenvalues):
+            return False
+        if (ref.eigenvectors is None) != (got.eigenvectors is None):
+            return False
+        if ref.eigenvectors is not None and not np.array_equal(
+            ref.eigenvectors, got.eigenvectors
+        ):
+            return False
+    return True
+
+
+def run_loadgen(
+    spec: WorkloadSpec | None = None,
+    config: ServiceConfig | None = None,
+    check_bits: bool = True,
+) -> dict:
+    """Run baseline + service on one workload; returns the artifact payload."""
+    spec = spec or WorkloadSpec()
+    config = config or ServiceConfig()
+    workload = make_workload(spec)
+
+    serial_s, serial_results = run_serial(workload)
+    service_s, service_results, stats = run_service(workload, config)
+
+    n_req = spec.requests
+    payload = {
+        "workload": {
+            "requests": n_req,
+            "sizes": list(spec.sizes),
+            "unique_matrices": spec.unique,
+            "dense_fraction": spec.dense_fraction,
+            "compute_vectors": spec.compute_vectors,
+            "seed": spec.seed,
+            "workload_fingerprint": workload.fingerprint,
+            "matrix_fingerprints": [item.fingerprint for item in workload.pool],
+        },
+        "serial": {
+            "wall_s": serial_s,
+            "requests_per_s": n_req / serial_s if serial_s > 0 else float("inf"),
+        },
+        "service": {
+            "wall_s": service_s,
+            "requests_per_s": n_req / service_s if service_s > 0 else float("inf"),
+            "speedup_vs_serial": serial_s / service_s if service_s > 0 else float("inf"),
+            "workers": config.workers,
+            "backpressure": config.backpressure,
+            "max_batch": config.max_batch,
+            "batch_window_s": config.batch_window_s,
+            "latency_s": stats["metrics"]["latency_s"],
+            "batch_sizes": stats["metrics"]["batch_sizes"],
+            "stacked_batches": stats["metrics"]["stacked_batches"],
+            "coalesced": stats["metrics"]["coalesced"],
+            "cache_hits_at_submit": stats["metrics"]["cache_hits_at_submit"],
+            "cache": stats["cache"],
+            "stage_times": stats["metrics"]["stage_times"],
+        },
+        "determinism": {
+            "checked": bool(check_bits),
+            "bit_identical_to_serial": (
+                _bit_identical(serial_results, service_results)
+                if check_bits
+                else None
+            ),
+        },
+    }
+    return payload
+
+
+def print_report(payload: dict, out=print) -> None:
+    """Human-readable summary of a loadgen payload."""
+    wl = payload["workload"]
+    se = payload["serial"]
+    sv = payload["service"]
+    det = payload["determinism"]
+    out(
+        f"workload: {wl['requests']} requests, n in {wl['sizes']}, "
+        f"{wl['unique_matrices']} unique matrices, "
+        f"dense fraction {wl['dense_fraction']:.2f}"
+    )
+    out(
+        f"serial  : {se['wall_s']:8.3f} s   {se['requests_per_s']:8.1f} req/s"
+    )
+    out(
+        f"service : {sv['wall_s']:8.3f} s   {sv['requests_per_s']:8.1f} req/s"
+        f"   speedup {sv['speedup_vs_serial']:.2f}x"
+        f"   ({sv['workers']} workers)"
+    )
+    lat = sv["latency_s"]
+    if lat.get("count"):
+        out(
+            f"latency : p50 {lat['p50'] * 1e3:7.2f} ms   "
+            f"p99 {lat['p99'] * 1e3:7.2f} ms   "
+            f"max {lat['max'] * 1e3:7.2f} ms"
+        )
+    cache = sv["cache"]
+    out(
+        f"cache   : {cache['hits']} hits / {cache['misses']} misses "
+        f"(hit rate {cache['hit_rate']:.1%}), {cache['entries']} entries, "
+        f"{sv['coalesced']} in-flight coalesced"
+    )
+    out(f"batches : sizes {sv['batch_sizes']} ({sv['stacked_batches']} stacked)")
+    if det["checked"]:
+        verdict = "bit-identical" if det["bit_identical_to_serial"] else "MISMATCH"
+        out(f"determinism vs serial: {verdict}")

@@ -1,0 +1,493 @@
+"""In-process asynchronous EVD solver service.
+
+:class:`SolverService` turns the library from a call-per-matrix API into
+a request-serving engine:
+
+* ``submit(A, **solver_opts)`` returns a :class:`concurrent.futures.Future`
+  resolving to the same :class:`~repro.core.evd.EVDResult` a direct
+  ``repro.eigh(A, **solver_opts)`` call would produce — **bit-identical**,
+  regardless of how requests interleave, batch, or hit the cache (the
+  service's determinism contract, property-tested);
+* requests flow through a bounded priority queue with pluggable
+  backpressure (``block`` / ``reject`` / ``timeout``,
+  :mod:`repro.serve.batcher`);
+* worker threads each own a long-lived
+  :class:`~repro.backend.ExecutionContext`, so workspace pools and
+  backend state amortize across requests instead of being rebuilt per
+  call (contexts are single-threaded by contract — the pool's
+  owning-thread assertion enforces it);
+* compatible requests are micro-batched adaptively; small-``n`` dense-tier
+  requests execute as one stacked ``(m, n, n)`` call
+  (:func:`~repro.core.evd.eigh_stacked`), everything else runs the full
+  DBBR + wavefront-BC pipeline per item on the worker's warm context;
+* results are cached content-addressed
+  (:mod:`repro.serve.cache`) for bit-identical replay of repeated
+  matrices, and identical in-flight requests are *coalesced*
+  (single-flight): a duplicate submitted while its twin is queued or
+  executing attaches to the twin's future instead of recomputing;
+* a failing request (non-finite input, bad shape, ...) fails only its
+  own future — the workers and every other request keep going.
+
+The *effective options* of a request are the submitted solver options,
+plus ``method="dense"`` when the service's opt-in small-``n`` fast path
+(``dense_fastpath_max_n``) promotes an unpinned request.  The
+determinism contract is stated over effective options; with the fast
+path disabled (the default) effective == submitted.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..backend.context import ExecutionContext
+from ..core.evd import eigh as core_eigh
+from ..core.evd import eigh_stacked
+from ..core.validation import check_symmetric
+from .batcher import BatchPolicy, QueueClosed, QueueFull, QueueTimeout, RequestQueue
+from .cache import ResultCache, canonical_params, make_cache_key
+from .metrics import ServiceMetrics
+
+__all__ = [
+    "ServiceConfig",
+    "SolverService",
+    "ServiceClosed",
+    "ServiceOverloaded",
+    "SubmitTimeout",
+]
+
+_BACKPRESSURE_POLICIES = ("block", "reject", "timeout")
+
+
+class ServiceClosed(RuntimeError):
+    """submit() after close(), or a pending request cancelled by a
+    non-draining shutdown."""
+
+
+class ServiceOverloaded(RuntimeError):
+    """``reject`` backpressure: the request queue is at capacity."""
+
+
+class SubmitTimeout(RuntimeError):
+    """``timeout`` backpressure: capacity did not free up within
+    ``submit_timeout_s``."""
+
+
+@dataclass
+class ServiceConfig:
+    """Tuning knobs for :class:`SolverService`.
+
+    Attributes
+    ----------
+    workers : int
+        Worker threads; each owns one :class:`ExecutionContext`.
+    backend : str
+        Array backend name each worker context resolves
+        (``"numpy"``/``"torch"``/``"cupy"``/``"auto"``).
+    queue_limit : int
+        Bounded queue capacity — the backpressure trigger.
+    backpressure : {"block", "reject", "timeout"}
+        Policy when the queue is full: block the submitter, raise
+        :class:`ServiceOverloaded` immediately, or block up to
+        ``submit_timeout_s`` then raise :class:`SubmitTimeout`.
+    submit_timeout_s : float
+        Deadline for the ``"timeout"`` policy.
+    max_batch, batch_window_s, adaptive_batching
+        Micro-batching knobs (see :class:`~repro.serve.batcher.BatchPolicy`).
+    dense_fastpath_max_n : int or None
+        When set, requests that do not pin a ``method`` (or ``backend``)
+        and have ``n <= dense_fastpath_max_n`` are promoted to the
+        stacked dense tier (``method="dense"``).  Off (``None``) by
+        default so that default submissions match default ``eigh`` calls
+        bit-for-bit.
+    cache_entries : int
+        LRU result-cache capacity (0 disables caching).
+    metrics_samples : int
+        Reservoir size for latency percentile estimation.
+    """
+
+    workers: int = 4
+    backend: str = "numpy"
+    queue_limit: int = 256
+    backpressure: str = "block"
+    submit_timeout_s: float = 1.0
+    max_batch: int = 16
+    batch_window_s: float = 0.002
+    adaptive_batching: bool = True
+    dense_fastpath_max_n: int | None = None
+    cache_entries: int = 256
+    metrics_samples: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.backpressure not in _BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"backpressure must be one of {_BACKPRESSURE_POLICIES}, "
+                f"got {self.backpressure!r}"
+            )
+
+
+@dataclass
+class _Request:
+    """One queued solve: input, options, bookkeeping, and its future."""
+
+    seq: int
+    priority: int
+    A: np.ndarray
+    effective_opts: dict[str, Any]
+    n: int | None
+    cache_key: str | None
+    future: Future = field(default_factory=Future)
+    t_submit: float = 0.0
+    t_enqueue: float = 0.0
+
+
+class SolverService:
+    """Batched asynchronous symmetric-EVD solver (see module docstring).
+
+    Use as a context manager for deterministic shutdown::
+
+        with SolverService(ServiceConfig(workers=4)) as svc:
+            futs = svc.submit_many(matrices)
+            results = [f.result() for f in futs]
+    """
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.metrics = ServiceMetrics(self.config.metrics_samples)
+        self.cache = ResultCache(self.config.cache_entries)
+        self._queue = RequestQueue(self.config.queue_limit)
+        self._batch_policy = BatchPolicy(
+            max_batch=self.config.max_batch,
+            window_s=self.config.batch_window_s,
+            adaptive=self.config.adaptive_batching,
+        )
+        self._seq = itertools.count()
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self._inflight: dict[str, Future] = {}
+        self._inflight_lock = threading.Lock()
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-serve-worker-{i}",
+                daemon=True,
+            )
+            for i in range(self.config.workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- request intake ------------------------------------------------
+    def submit(self, A: np.ndarray, priority: int = 0, **solver_opts) -> Future:
+        """Enqueue one solve; returns a future of the ``EVDResult``.
+
+        ``priority`` orders dequeueing (lower value first, FIFO within a
+        level).  ``solver_opts`` are the keyword arguments of
+        :func:`repro.eigh` (``method``, ``solver``, ``compute_vectors``,
+        ...).  Result arrays are shared with the cache and therefore
+        read-only.
+
+        Raises :class:`ServiceClosed` / :class:`ServiceOverloaded` /
+        :class:`SubmitTimeout` per the configured backpressure policy.
+        Invalid *matrices* never raise here — they fail their own future
+        at execution time.
+        """
+        if self._closed:
+            raise ServiceClosed("service is closed")
+        self.metrics.submitted.inc()
+        A = np.asarray(A)
+        n = A.shape[0] if (A.ndim == 2 and A.shape[0] == A.shape[1]) else None
+        effective = dict(solver_opts)
+        fp_max = self.config.dense_fastpath_max_n
+        if (
+            fp_max is not None
+            and n is not None
+            and n <= fp_max
+            and "method" not in effective
+            and "backend" not in effective
+        ):
+            effective["method"] = "dense"
+        cache_key = make_cache_key(A, effective, self.config.backend)
+        req = _Request(
+            seq=next(self._seq),
+            priority=int(priority),
+            A=A,
+            effective_opts=effective,
+            n=n,
+            cache_key=cache_key,
+            t_submit=time.monotonic(),
+        )
+        cached = self.cache.get(cache_key)
+        if cached is not None:
+            self.metrics.cache_hits_at_submit.inc()
+            req.future.set_result(cached)
+            self._finish(req)
+            return req.future
+        if cache_key is not None:
+            # Single-flight: attach to an identical in-flight request
+            # instead of queueing a duplicate computation.
+            with self._inflight_lock:
+                leader = self._inflight.get(cache_key)
+                if leader is None:
+                    self._inflight[cache_key] = req.future
+                    req.future.add_done_callback(
+                        lambda _f, key=cache_key, fut=req.future: (
+                            self._inflight_pop(key, fut)
+                        )
+                    )
+                else:
+                    follower: Future = Future()
+                    self.metrics.coalesced.inc()
+                    leader.add_done_callback(
+                        lambda lf, fut=follower, t0=req.t_submit: (
+                            self._propagate(lf, fut, t0)
+                        )
+                    )
+                    return follower
+        req.t_enqueue = time.monotonic()
+        try:
+            self._queue.put(
+                req,
+                priority=req.priority,
+                seq=req.seq,
+                policy=self.config.backpressure,
+                timeout_s=self.config.submit_timeout_s,
+            )
+        except QueueClosed as exc:
+            req.future.cancel()  # releases the in-flight slot + followers
+            raise ServiceClosed("service is closed") from exc
+        except QueueFull as exc:
+            self.metrics.rejected.inc()
+            req.future.cancel()
+            raise ServiceOverloaded(str(exc)) from exc
+        except QueueTimeout as exc:
+            self.metrics.rejected.inc()
+            req.future.cancel()
+            raise SubmitTimeout(str(exc)) from exc
+        return req.future
+
+    def submit_many(
+        self, matrices, priority: int = 0, **solver_opts
+    ) -> list[Future]:
+        """Submit a sequence of matrices with shared options."""
+        return [self.submit(A, priority=priority, **solver_opts) for A in matrices]
+
+    def _inflight_pop(self, key: str, fut: Future) -> None:
+        with self._inflight_lock:
+            if self._inflight.get(key) is fut:
+                del self._inflight[key]
+
+    def _propagate(self, leader: Future, follower: Future, t_submit: float) -> None:
+        """Copy a completed leader's outcome onto a coalesced follower."""
+        try:
+            if leader.cancelled():
+                follower.cancel()
+                self.metrics.cancelled.inc()
+                return
+            exc = leader.exception()
+            if exc is not None:
+                follower.set_exception(exc)
+                self.metrics.failed.inc()
+            else:
+                follower.set_result(leader.result())
+                self.metrics.completed.inc()
+                self.metrics.latency_s.observe(time.monotonic() - t_submit)
+        except Exception:
+            # The follower was cancelled by its caller in the meantime —
+            # nothing left to deliver to.
+            pass
+
+    # -- worker side ---------------------------------------------------
+    @staticmethod
+    def _signature(req: _Request):
+        """Batch-compatibility key: same ``n`` + same canonical options,
+        for requests that gain from stacking — the dense tier.
+
+        Everything else returns ``None`` (unbatchable): pipeline
+        requests "fall through per item" by popping singly, which keeps
+        the workers load-balanced (grouping them would pin a run of
+        sequential ``O(n^3)`` solves to one worker while the others
+        starve — batching only pays where the arithmetic itself stacks).
+        """
+        if req.n is None:
+            return None
+        if req.effective_opts.get("method") != "dense":
+            return None
+        if "backend" in req.effective_opts:
+            return None
+        canon = canonical_params(req.effective_opts)
+        if canon is None:
+            return None
+        return (req.n, canon)
+
+    def _worker_loop(self) -> None:
+        # Each worker constructs its context *in its own thread*: the
+        # workspace pool binds to this thread and amortizes across every
+        # request the worker serves.
+        ctx = ExecutionContext(
+            backend=self.config.backend,
+            hooks=[self.metrics.stage_times.hook],
+        )
+        while True:
+            popped = self._queue.pop_batch(self._signature, self._batch_policy)
+            if popped is None:
+                return
+            batch, depth = popped
+            now = time.monotonic()
+            self.metrics.batches.inc()
+            self.metrics.batch_sizes.observe(len(batch))
+            self.metrics.queue_depth_at_dequeue.observe(depth)
+            for req in batch:
+                self.metrics.queue_wait_s.observe(now - req.t_enqueue)
+            self._execute_batch(ctx, batch)
+
+    def _execute_batch(self, ctx: ExecutionContext, batch: list[_Request]) -> None:
+        # Re-check the cache: an identical request may have completed
+        # while this one sat in the queue.
+        live: list[_Request] = []
+        for req in batch:
+            cached = self.cache.get(req.cache_key)
+            if cached is not None:
+                if req.future.set_running_or_notify_cancel():
+                    req.future.set_result(cached)
+                    self._finish(req)
+                else:
+                    self.metrics.cancelled.inc()
+            else:
+                live.append(req)
+        if not live:
+            return
+        if (
+            live[0].effective_opts.get("method") == "dense"
+            and "backend" not in live[0].effective_opts
+        ):
+            self._execute_dense_stacked(ctx, live)
+        else:
+            for req in live:
+                self._execute_single(ctx, req)
+
+    def _execute_single(self, ctx: ExecutionContext, req: _Request) -> None:
+        if not req.future.set_running_or_notify_cancel():
+            self.metrics.cancelled.inc()
+            return
+        try:
+            opts = req.effective_opts
+            if "backend" in opts:
+                # The request pinned its own substrate; the worker
+                # context (and its workspace amortization) steps aside.
+                result = core_eigh(req.A, **opts)
+            else:
+                result = core_eigh(req.A, backend=ctx, **opts)
+        except Exception as exc:
+            self.metrics.failed.inc()
+            req.future.set_exception(exc)
+            return
+        self.cache.put(req.cache_key, result)
+        req.future.set_result(result)
+        self._finish(req)
+
+    def _execute_dense_stacked(
+        self, ctx: ExecutionContext, batch: list[_Request]
+    ) -> None:
+        """The small-``n`` fast path: one stacked ``(m, n, n)`` solve.
+
+        Validation runs per item first so a bad matrix fails its own
+        future and drops out of the stack; ``eigh_stacked`` is
+        batch-invariant, so survivors get bits identical to a lone
+        ``eigh(A, method="dense")`` call.
+        """
+        started: list[_Request] = []
+        clean: list[np.ndarray] = []
+        for req in batch:
+            if not req.future.set_running_or_notify_cancel():
+                self.metrics.cancelled.inc()
+                continue
+            try:
+                clean.append(check_symmetric(req.A))
+                started.append(req)
+            except Exception as exc:
+                self.metrics.failed.inc()
+                req.future.set_exception(exc)
+        if not started:
+            return
+        compute_vectors = bool(
+            started[0].effective_opts.get("compute_vectors", True)
+        )
+        try:
+            results = eigh_stacked(
+                np.stack(clean), compute_vectors=compute_vectors, backend=ctx
+            )
+        except Exception as exc:
+            for req in started:
+                self.metrics.failed.inc()
+                req.future.set_exception(exc)
+            return
+        self.metrics.stacked_batches.inc()
+        for req, result in zip(started, results):
+            self.cache.put(req.cache_key, result)
+            req.future.set_result(result)
+            self._finish(req)
+
+    def _finish(self, req: _Request) -> None:
+        self.metrics.completed.inc()
+        self.metrics.latency_s.observe(time.monotonic() - req.t_submit)
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop accepting requests and shut the workers down.
+
+        With ``drain`` (default) every queued request is still executed
+        before the workers exit; without it, queued requests are
+        cancelled (their futures raise ``CancelledError``) and workers
+        stop after their in-flight batch.  Idempotent.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+            removed = self._queue.close(drain=drain)
+        for req in removed:
+            if req.future.cancel():
+                self.metrics.cancelled.inc()
+        for t in self._threads:
+            t.join(timeout)
+
+    def __enter__(self) -> "SolverService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- introspection -------------------------------------------------
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def stats(self) -> dict:
+        """Full service snapshot: config, queue, cache, metric histograms."""
+        return {
+            "workers": self.config.workers,
+            "backend": self.config.backend,
+            "closed": self._closed,
+            "queue_depth": len(self._queue),
+            "queue_limit": self.config.queue_limit,
+            "backpressure": self.config.backpressure,
+            "max_batch": self.config.max_batch,
+            "batch_window_s": self.config.batch_window_s,
+            "adaptive_batching": self.config.adaptive_batching,
+            "dense_fastpath_max_n": self.config.dense_fastpath_max_n,
+            "ewma_interarrival_s": self._queue.ewma_interarrival_s,
+            "cache": self.cache.stats(),
+            "metrics": self.metrics.snapshot(),
+        }

@@ -1,0 +1,109 @@
+"""Regression tests for the owning-thread assertion on ExecutionContext
+and its WorkspacePool: sharing a context across threads fails loudly
+instead of silently corrupting shared scratch buffers."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+from repro.backend.context import ExecutionContext, WorkspacePool
+from repro.backend.registry import get_backend
+from repro.bench.workloads import goe
+
+
+def run_in_thread(fn):
+    """Run ``fn`` in a fresh thread; return (result, exception)."""
+    box = {"result": None, "exc": None}
+
+    def target():
+        try:
+            box["result"] = fn()
+        except BaseException as exc:  # noqa: BLE001 - captured for assert
+            box["exc"] = exc
+
+    t = threading.Thread(target=target)
+    t.start()
+    t.join(timeout=30)
+    assert not t.is_alive()
+    return box["result"], box["exc"]
+
+
+class TestWorkspacePoolOwnership:
+    def test_binds_to_first_using_thread(self):
+        pool = WorkspacePool(get_backend("numpy"))
+        buf = pool.stack("a", (4, 4))
+        assert buf.shape == (4, 4)
+        buf2 = pool.stack("a", (4, 4))
+        assert buf2.base is buf.base or np.shares_memory(buf, buf2)
+
+    def test_cross_thread_use_raises(self):
+        pool = WorkspacePool(get_backend("numpy"))
+        pool.stack("a", (2, 2))  # binds to this thread
+        _, exc = run_in_thread(lambda: pool.stack("a", (2, 2)))
+        assert isinstance(exc, RuntimeError)
+        assert "not thread-safe" in str(exc)
+
+    def test_thread_that_binds_keeps_ownership(self):
+        pool = WorkspacePool(get_backend("numpy"))
+        _, exc = run_in_thread(lambda: pool.stack("a", (2, 2)))
+        assert exc is None  # first use from the worker binds there
+        with pytest.raises(RuntimeError):
+            pool.stack("a", (2, 2))  # now *this* thread is the stranger
+
+
+class TestExecutionContextOwnership:
+    def test_stage_from_second_thread_raises(self):
+        ctx = ExecutionContext(backend="numpy")
+        with ctx.stage("warmup"):
+            pass
+
+        def use_elsewhere():
+            with ctx.stage("intruder"):
+                pass
+
+        _, exc = run_in_thread(use_elsewhere)
+        assert isinstance(exc, RuntimeError)
+        assert "ExecutionContext" in str(exc)
+
+    def test_shared_context_in_pipeline_raises(self):
+        """The realistic failure: one warm context handed to a second
+        thread running a full solve."""
+        ctx = ExecutionContext(backend="numpy")
+        A = goe(24, seed=0)
+        repro.eigh(A, backend=ctx)  # binds the context here
+        _, exc = run_in_thread(lambda: repro.eigh(goe(24, seed=1), backend=ctx))
+        assert isinstance(exc, RuntimeError)
+
+    def test_per_thread_contexts_work_concurrently(self):
+        """The supported pattern — one context per thread — must keep
+        producing bit-identical results under concurrency."""
+        mats = [goe(20, seed=s) for s in range(4)]
+        refs = [repro.eigh(A) for A in mats]
+        out = [None] * len(mats)
+
+        def solve(i):
+            ctx = ExecutionContext(backend="numpy")
+            out[i] = repro.eigh(mats[i], backend=ctx)
+
+        threads = [threading.Thread(target=solve, args=(i,))
+                   for i in range(len(mats))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        for ref, got in zip(refs, out):
+            assert np.array_equal(ref.eigenvalues, got.eigenvalues)
+            assert np.array_equal(ref.eigenvectors, got.eigenvectors)
+
+    def test_fresh_default_contexts_unaffected(self):
+        """backend=None resolves a fresh context per call, so plain API
+        use from many threads stays valid."""
+        A = goe(16, seed=2)
+        ref = repro.eigh(A)
+        got, exc = run_in_thread(lambda: repro.eigh(A))
+        assert exc is None
+        assert np.array_equal(ref.eigenvalues, got.eigenvalues)

@@ -7,7 +7,14 @@ import pytest
 
 import repro
 from repro.bench.workloads import goe
-from repro.core.validation import SymmetryError, check_symmetric
+from repro.core.validation import (
+    EmptyMatrixError,
+    NonFiniteError,
+    NonSquareError,
+    SymmetryError,
+    check_symmetric,
+    matrix_fingerprint,
+)
 
 
 class TestCheckSymmetric:
@@ -32,20 +39,30 @@ class TestCheckSymmetric:
     def test_rejects_nan_and_inf(self):
         A = goe(6, seed=4)
         A[2, 2] = np.nan
-        with pytest.raises(ValueError, match="NaN"):
+        with pytest.raises(NonFiniteError, match="NaN"):
             check_symmetric(A)
         A = goe(6, seed=4)
         A[1, 1] = np.inf
-        with pytest.raises(ValueError):
+        with pytest.raises(NonFiniteError):
             check_symmetric(A)
 
     def test_rejects_non_square(self):
-        with pytest.raises(ValueError, match="square"):
+        with pytest.raises(NonSquareError, match="square"):
             check_symmetric(np.zeros((3, 5)))
 
     def test_rejects_vector(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(NonSquareError):
             check_symmetric(np.zeros(5))
+
+    def test_rejects_empty(self):
+        with pytest.raises(EmptyMatrixError):
+            check_symmetric(np.zeros((0, 0)))
+
+    def test_typed_errors_are_value_errors(self):
+        # callers that only catch ValueError keep working
+        for exc in (SymmetryError, NonSquareError, NonFiniteError,
+                    EmptyMatrixError):
+            assert issubclass(exc, ValueError)
 
     def test_custom_tolerance(self):
         A = goe(8, seed=5)
@@ -61,12 +78,74 @@ class TestCheckSymmetric:
         assert B.dtype == np.float64
 
 
+class TestMatrixFingerprint:
+    def test_deterministic_across_copies(self):
+        A = goe(9, seed=20)
+        assert matrix_fingerprint(A) == matrix_fingerprint(A.copy())
+
+    def test_single_bit_flip_changes_digest(self):
+        A = goe(9, seed=21)
+        B = A.copy()
+        B[4, 4] = np.nextafter(B[4, 4], np.inf)
+        assert matrix_fingerprint(A) != matrix_fingerprint(B)
+
+    def test_shape_is_part_of_identity(self):
+        flat = np.arange(12, dtype=np.float64)
+        assert (matrix_fingerprint(flat.reshape(3, 4))
+                != matrix_fingerprint(flat.reshape(4, 3)))
+
+    def test_dtype_is_part_of_identity(self):
+        A = np.eye(4, dtype=np.float32)
+        assert matrix_fingerprint(A) != matrix_fingerprint(A.astype(np.float64))
+
+    def test_non_contiguous_views_hash_by_content(self):
+        A = goe(10, seed=22)
+        view = A[::2, ::2]
+        assert matrix_fingerprint(view) == matrix_fingerprint(view.copy())
+
+    def test_digest_is_short_hex(self):
+        fp = matrix_fingerprint(goe(5, seed=23))
+        assert len(fp) == 32
+        int(fp, 16)  # hex-parsable
+
+
 class TestDriversValidate:
     def test_tridiagonalize_rejects_nan(self):
         A = goe(12, seed=6)
         A[0, 0] = np.nan
         with pytest.raises(ValueError):
             repro.tridiagonalize(A)
+
+    @pytest.mark.parametrize("entry", [
+        lambda A: repro.eigh(A),
+        lambda A: repro.eigh_partial(A, indices=(0, 1)),
+        lambda A: repro.tridiagonalize(A),
+    ])
+    def test_typed_errors_at_every_entry_point(self, entry):
+        with pytest.raises(NonSquareError):
+            entry(np.zeros((4, 6)))
+        with pytest.raises(EmptyMatrixError):
+            entry(np.zeros((0, 0)))
+        bad = goe(12, seed=30)
+        bad[1, 2] = bad[2, 1] = np.nan
+        with pytest.raises(NonFiniteError):
+            entry(bad)
+
+    def test_dense_method_validates_too(self):
+        with pytest.raises(NonSquareError):
+            repro.eigh(np.zeros((4, 6)), method="dense")
+        bad = goe(8, seed=31)
+        bad[0, 0] = np.inf
+        with pytest.raises(NonFiniteError):
+            repro.eigh(bad, method="dense")
+
+    def test_eigh_stacked_validates_shape(self):
+        with pytest.raises(NonSquareError):
+            repro.eigh_stacked(np.zeros((3, 4, 5)))
+        with pytest.raises(NonSquareError):
+            repro.eigh_stacked(np.zeros((4, 4)))  # not a stack
+        with pytest.raises(EmptyMatrixError):
+            repro.eigh_stacked(np.zeros((0, 4, 4)))
 
     def test_tridiagonalize_rejects_asymmetric(self):
         A = np.random.default_rng(7).standard_normal((12, 12))

@@ -1,0 +1,121 @@
+"""The service's determinism contract, property-style.
+
+For ANY interleaving of submissions, batch sizes, and cache states, a
+result delivered by :class:`~repro.serve.SolverService` must be
+bit-identical to a direct single-call ``repro.eigh`` with the request's
+*effective* options on the numpy backend.  We drive randomized request
+streams (mixed sizes, mixed methods, deliberate duplicates for cache
+hits and in-flight coalescing) through randomized service shapes (worker
+counts, batch windows, cache on/off, fast-path promotion) and bit-compare
+every single result against its reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.serve import ServiceConfig, SolverService
+
+SIZES = (12, 16, 24, 32)
+
+
+def make_stream(rng, n_unique=10, n_requests=28):
+    """A randomized request stream with duplicates and mixed options."""
+    pool = []
+    for _ in range(n_unique):
+        n = int(rng.choice(SIZES))
+        A = rng.standard_normal((n, n))
+        A = (A + A.T) / 2.0
+        opts = {}
+        roll = rng.random()
+        if roll < 0.45:
+            opts["method"] = "dense"
+        # else: the library default (the full DBBR + BC pipeline)
+        if rng.random() < 0.3:
+            opts["compute_vectors"] = bool(rng.random() < 0.5)
+        pool.append((A, opts))
+    picks = rng.integers(0, n_unique, n_requests)
+    return [pool[int(i)] for i in picks]
+
+
+def effective_opts(config, A, opts):
+    """Mirror the service's fast-path promotion rule."""
+    eff = dict(opts)
+    n = A.shape[0]
+    if (
+        config.dense_fastpath_max_n is not None
+        and n <= config.dense_fastpath_max_n
+        and "method" not in eff
+        and "backend" not in eff
+    ):
+        eff["method"] = "dense"
+    return eff
+
+
+def assert_bit_identical(got, ref, label):
+    assert np.array_equal(got.eigenvalues, ref.eigenvalues), label
+    assert (got.eigenvectors is None) == (ref.eigenvectors is None), label
+    if ref.eigenvectors is not None:
+        assert np.array_equal(got.eigenvectors, ref.eigenvectors), label
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_randomized_streams_bit_identical(seed):
+    rng = np.random.default_rng(seed)
+    stream = make_stream(rng)
+    config = ServiceConfig(
+        workers=int(rng.integers(1, 5)),
+        queue_limit=int(rng.integers(4, 64)),
+        max_batch=int(rng.integers(1, 16)),
+        batch_window_s=float(rng.choice([0.0, 0.002, 0.01])),
+        adaptive_batching=bool(rng.random() < 0.5),
+        cache_entries=int(rng.choice([0, 4, 256])),
+        dense_fastpath_max_n=(
+            int(rng.choice([16, 24])) if rng.random() < 0.5 else None
+        ),
+    )
+    with SolverService(config) as svc:
+        futures = [svc.submit(A, **opts) for A, opts in stream]
+        results = [f.result(timeout=120) for f in futures]
+
+    for i, ((A, opts), got) in enumerate(zip(stream, results)):
+        eff = effective_opts(config, A, opts)
+        ref = repro.eigh(A, **eff)
+        assert_bit_identical(got, ref, f"request {i}: n={A.shape[0]} opts={eff}")
+
+
+def test_forced_stacking_matches_singles():
+    """Many same-n dense requests in one burst — guaranteed stacked
+    batches — must match one-at-a-time dense calls bit-for-bit."""
+    rng = np.random.default_rng(7)
+    mats = []
+    for _ in range(12):
+        A = rng.standard_normal((20, 20))
+        mats.append((A + A.T) / 2.0)
+    config = ServiceConfig(
+        workers=1, max_batch=16, batch_window_s=0.01, adaptive_batching=False,
+        cache_entries=0,
+    )
+    with SolverService(config) as svc:
+        futs = [svc.submit(A, method="dense") for A in mats]
+        results = [f.result(timeout=60) for f in futs]
+        stacked = svc.stats()["metrics"]["stacked_batches"]
+    assert stacked >= 1  # the burst really did exercise the stacked path
+    for A, got in zip(mats, results):
+        assert_bit_identical(got, repro.eigh(A, method="dense"), "stacked")
+
+
+def test_cache_replay_is_bit_identical():
+    """A result served from the cache is the same bits as the computed
+    one, and both equal the direct call."""
+    A = np.random.default_rng(11).standard_normal((24, 24))
+    A = (A + A.T) / 2.0
+    config = ServiceConfig(workers=1, cache_entries=16)
+    with SolverService(config) as svc:
+        first = svc.submit(A, method="dense").result(timeout=30)
+        replay = svc.submit(A.copy(), method="dense").result(timeout=30)
+    ref = repro.eigh(A, method="dense")
+    assert_bit_identical(first, ref, "computed")
+    assert_bit_identical(replay, ref, "replayed")

@@ -1,0 +1,100 @@
+"""Unit tests for the service metric primitives."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.backend.context import StageEvent
+from repro.serve.metrics import (
+    CountHistogram,
+    Counter,
+    ServiceMetrics,
+    StageTimes,
+    ValueHistogram,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter()
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+
+    def test_concurrent_increments(self):
+        c = Counter()
+        threads = [
+            threading.Thread(target=lambda: [c.inc() for _ in range(1000)])
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 4000
+
+
+class TestValueHistogram:
+    def test_empty_snapshot(self):
+        assert ValueHistogram().snapshot() == {"count": 0}
+
+    def test_summary_statistics(self):
+        h = ValueHistogram()
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert snap["mean"] == pytest.approx(2.5)
+        assert snap["min"] == 1.0 and snap["max"] == 4.0
+        assert set(snap) >= {"p50", "p90", "p99"}
+        assert snap["p50"] == pytest.approx(2.5)
+
+    def test_reservoir_bounds_memory_but_not_counts(self):
+        h = ValueHistogram(max_samples=8)
+        for v in range(100):
+            h.observe(float(v))
+        snap = h.snapshot()
+        assert snap["count"] == 100          # exact over the full stream
+        assert snap["min"] == 0.0 and snap["max"] == 99.0
+        assert snap["p50"] >= 90.0           # percentiles from the window
+
+
+class TestCountHistogram:
+    def test_counts_and_sorted_keys(self):
+        h = CountHistogram()
+        for v in [3, 1, 3, 2, 3]:
+            h.observe(v)
+        assert h.snapshot() == {"1": 1, "2": 1, "3": 3}
+        assert h.total_observations == 5
+
+
+class TestStageTimes:
+    def test_accumulates_end_events_only(self):
+        st = StageTimes()
+        st.hook(StageEvent("band_reduction", "start", "numpy"))
+        st.hook(StageEvent("band_reduction", "end", "numpy", duration_s=0.5))
+        st.hook(StageEvent("band_reduction", "end", "numpy", duration_s=0.25))
+        snap = st.snapshot()
+        assert snap == {
+            "band_reduction": {"seconds": pytest.approx(0.75), "count": 2}
+        }
+
+
+class TestServiceMetrics:
+    def test_snapshot_schema(self):
+        m = ServiceMetrics()
+        m.submitted.inc()
+        m.latency_s.observe(0.01)
+        m.batch_sizes.observe(2)
+        snap = m.snapshot()
+        assert set(snap) == {
+            "submitted", "completed", "failed", "rejected", "cancelled",
+            "cache_hits_at_submit", "coalesced", "batches", "stacked_batches",
+            "latency_s", "queue_wait_s", "batch_sizes",
+            "queue_depth_at_dequeue", "stage_times",
+        }
+        assert snap["submitted"] == 1
+        assert snap["latency_s"]["count"] == 1
+        assert snap["batch_sizes"] == {"2": 1}

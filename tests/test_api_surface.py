@@ -14,8 +14,10 @@ import pytest
 PUBLIC_API = {
     "repro": [
         "eigh", "eigh_partial", "eigh_hermitian", "eigh_generalized",
+        "eigh_stacked", "matrix_fingerprint",
         "tridiagonalize", "dbbr", "sbr",
         "dc_eigh", "tridiag_qr_eigh", "eigh_bisect",
+        "SolverService", "ServiceConfig",
         "EVDResult", "TridiagResult", "__version__",
     ],
     "repro.core": [
@@ -29,8 +31,11 @@ PUBLIC_API = {
         "apply_sbr_q", "assemble_eigenvectors", "q_from_blocks",
         "merge_blocks_recursive", "merge_blocks_grouped",
         "blocked_q1_blocks", "apply_q1_blocked",
-        "tridiagonalize", "eigh", "eigh_partial", "auto_params",
-        "save_tridiag", "load_tridiag",
+        "tridiagonalize", "eigh", "eigh_partial", "eigh_stacked",
+        "auto_params", "save_tridiag", "load_tridiag",
+        "matrix_fingerprint", "check_symmetric",
+        "SymmetryError", "NonSquareError", "NonFiniteError",
+        "EmptyMatrixError",
         "eigh_hermitian", "eigh_generalized", "cholesky_lower",
     ],
     "repro.eig": [
@@ -64,6 +69,12 @@ PUBLIC_API = {
         "goe", "symmetric_with_spectrum", "wilkinson_tridiagonal",
         "print_table", "print_series", "banner", "measure",
     ],
+    "repro.serve": [
+        "SolverService", "ServiceConfig", "ServiceMetrics", "ResultCache",
+        "RequestQueue", "BatchPolicy", "make_cache_key",
+        "ServiceClosed", "ServiceOverloaded", "SubmitTimeout",
+        "WorkloadSpec", "make_workload", "run_loadgen",
+    ],
 }
 
 
@@ -77,7 +88,7 @@ def test_documented_names_exist(module_name):
 @pytest.mark.parametrize(
     "module_name",
     ["repro", "repro.core", "repro.eig", "repro.band", "repro.gpusim",
-     "repro.models", "repro.bench"],
+     "repro.models", "repro.bench", "repro.serve"],
 )
 def test_all_lists_are_importable(module_name):
     mod = importlib.import_module(module_name)
