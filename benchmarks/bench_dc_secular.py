@@ -1,0 +1,226 @@
+"""Batched vs scalar secular machinery in divide and conquer — PR 6 tentpole.
+
+Both modes execute the *same* mathematics (guarded Newton on the secular
+equation, Gu–Eisenstat Löwner refinement, analytic eigenvectors); the
+scalar mode iterates one root / one column at a time, the batched mode
+runs every root of a merge as stacked ``(N, N)`` array sweeps
+(:mod:`repro.eig.secular`).  ``[measured]`` wall time only — a pure
+software-architecture comparison, no simulator involved.  Acceptance
+gate: the ``dc_secular`` stage >= 5x at n = 1024 with vectors.
+
+Run directly (CI smoke mode finishes in a few seconds):
+
+    PYTHONPATH=src python benchmarks/bench_dc_secular.py [--smoke]
+
+Writes ``benchmarks/out/BENCH_dc_secular.json`` (full mode only, or with
+``--json`` forced) so the headline number is a checked-in artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import time
+
+import numpy as np
+
+from repro.backend.context import ExecutionContext
+from repro.bench.reporting import banner, print_table, write_json_artifact
+from repro.core.evd import eigh
+from repro.eig.dc import dc_eigh
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+FULL_NS = [256, 512, 1024, 2048]
+SMOKE_NS = [96, 160]
+HEADLINE = (1024, True)  # the >= 5x acceptance case: n, compute_vectors
+END_TO_END_N = {True: 512, False: 96}  # full / smoke end-to-end eigh size
+
+# Top-level keys every BENCH_dc_secular.json must carry (CI smoke gate).
+ARTIFACT_SCHEMA_KEYS = [
+    "name",
+    "generated_at",
+    "environment",
+    "provenance",
+    "reps",
+    "smoke",
+    "headline",
+    "cases",
+    "end_to_end",
+]
+
+DC_STAGES = ("dc_leaf", "dc_deflate", "dc_secular", "dc_gemm")
+
+
+def _problem(n: int) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(1234 + n)
+    return rng.standard_normal(n), rng.standard_normal(n - 1)
+
+
+def _timed_run(d, e, mode: str, compute_vectors: bool, reps: int) -> dict:
+    """Best-of-``reps`` wall and per-stage times for one dc_eigh config."""
+    ctx = ExecutionContext()
+    run = lambda: dc_eigh(
+        d, e, compute_vectors=compute_vectors, ctx=ctx, secular_mode=mode
+    )
+    run()  # warmup: fills the workspace pool high-water marks
+    best_total = np.inf
+    best_stages = {}
+    for _ in range(reps):
+        before = dict(ctx.stage_times)
+        t0 = time.perf_counter()
+        run()
+        total = time.perf_counter() - t0
+        stages = {
+            k: ctx.stage_times.get(k, 0.0) - before.get(k, 0.0) for k in DC_STAGES
+        }
+        if total < best_total:
+            best_total, best_stages = total, stages
+    return {"total_s": best_total, **{f"{k}_s": v for k, v in best_stages.items()}}
+
+
+def run_case(n: int, compute_vectors: bool, reps: int) -> dict:
+    """Time both secular modes on one tridiagonal and cross-check numerics."""
+    d, e = _problem(n)
+    t_b = _timed_run(d, e, "batched", compute_vectors, reps)
+    t_s = _timed_run(d, e, "scalar", compute_vectors, reps)
+
+    lam_b, U_b = dc_eigh(d, e, compute_vectors=compute_vectors, secular_mode="batched")
+    lam_s, U_s = dc_eigh(d, e, compute_vectors=compute_vectors, secular_mode="scalar")
+    scale = max(float(np.max(np.abs(lam_s))), 1.0)
+    dev = float(np.max(np.abs(lam_b - lam_s)) / scale)
+    orth = (
+        float(np.linalg.norm(U_b.T @ U_b - np.eye(n)))
+        if compute_vectors
+        else None
+    )
+
+    return {
+        "n": n,
+        "compute_vectors": compute_vectors,
+        "scalar_total_s": t_s["total_s"],
+        "batched_total_s": t_b["total_s"],
+        "scalar_secular_s": t_s["dc_secular_s"],
+        "batched_secular_s": t_b["dc_secular_s"],
+        "speedup_total": t_s["total_s"] / t_b["total_s"],
+        "speedup_secular": t_s["dc_secular_s"] / max(t_b["dc_secular_s"], 1e-12),
+        "max_rel_eig_deviation": dev,
+        "batched_orthogonality": orth,
+        "stages_batched": {k: t_b[f"{k}_s"] for k in DC_STAGES},
+        "stages_scalar": {k: t_s[f"{k}_s"] for k in DC_STAGES},
+    }
+
+
+def run_end_to_end(n: int, reps: int) -> dict:
+    """Full `eigh` (method default) with each secular mode."""
+    rng = np.random.default_rng(99)
+    g = rng.standard_normal((n, n))
+    A = (g + g.T) / 2.0
+    out = {}
+    for mode in ("batched", "scalar"):
+        best = np.inf
+        for _ in range(reps + 1):  # first rep doubles as warmup
+            t0 = time.perf_counter()
+            eigh(A, secular_mode=mode)
+            best = min(best, time.perf_counter() - t0)
+        out[f"{mode}_s"] = best
+    out["n"] = n
+    out["speedup"] = out["scalar_s"] / out["batched_s"]
+    return out
+
+
+def run(smoke: bool = False, reps: int = 2, write_json: bool | None = None) -> dict:
+    ns = SMOKE_NS if smoke else FULL_NS
+    print(banner("Batched vs scalar secular solve in divide & conquer", "measured"))
+    rows = [
+        run_case(n, vecs, reps) for n in ns for vecs in (True, False)
+    ]
+
+    print_table(
+        ["n", "vectors", "scalar secular", "batched secular", "secular speedup",
+         "total speedup", "max rel dev"],
+        [
+            [
+                r["n"],
+                "yes" if r["compute_vectors"] else "no",
+                f"{r['scalar_secular_s'] * 1e3:9.1f} ms",
+                f"{r['batched_secular_s'] * 1e3:9.1f} ms",
+                f"{r['speedup_secular']:5.2f}x",
+                f"{r['speedup_total']:5.2f}x",
+                f"{r['max_rel_eig_deviation']:.2e}",
+            ]
+            for r in rows
+        ],
+    )
+
+    e2e = run_end_to_end(END_TO_END_N[not smoke], reps)
+    print(
+        f"\nend-to-end eigh (method default, n={e2e['n']}): "
+        f"scalar {e2e['scalar_s'] * 1e3:.0f} ms -> batched "
+        f"{e2e['batched_s'] * 1e3:.0f} ms ({e2e['speedup']:.2f}x)"
+    )
+
+    headline = next(
+        (
+            r
+            for r in rows
+            if (r["n"], r["compute_vectors"]) == HEADLINE
+        ),
+        rows[0],
+    )
+    payload = {
+        "provenance": "measured",
+        "reps": reps,
+        "smoke": smoke,
+        "headline": {
+            "n": headline["n"],
+            "compute_vectors": headline["compute_vectors"],
+            "speedup_secular": headline["speedup_secular"],
+            "speedup_total": headline["speedup_total"],
+            "target_speedup_secular": 5.0 if not smoke else None,
+        },
+        "cases": rows,
+        "end_to_end": e2e,
+    }
+    if write_json if write_json is not None else not smoke:
+        path = write_json_artifact(OUT_DIR, "dc_secular", payload)
+        print(f"artifact: {path}")
+    print(
+        f"headline: n={headline['n']} vectors={headline['compute_vectors']}: "
+        f"secular stage {headline['speedup_secular']:.2f}x (best-of-{reps})"
+    )
+    return payload
+
+
+def test_dc_secular_speedup_smoke(report):
+    """Benchmark-suite entry: even at smoke scale the batched secular
+    stage must beat the scalar loops while agreeing numerically."""
+    r = run_case(SMOKE_NS[-1], True, reps=2)
+    report(
+        f"n={r['n']} vectors: secular {r['speedup_secular']:.2f}x, "
+        f"max rel dev {r['max_rel_eig_deviation']:.2e}"
+    )
+    assert r["speedup_secular"] > 1.0
+    assert r["max_rel_eig_deviation"] < 1e-12
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small cases only, no JSON artifact (CI gate)",
+    )
+    ap.add_argument("--reps", type=int, default=2, help="timed repetitions")
+    ap.add_argument(
+        "--json",
+        action="store_true",
+        help="write the JSON artifact even in smoke mode",
+    )
+    args = ap.parse_args(argv)
+    run(smoke=args.smoke, reps=args.reps, write_json=args.json or None)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

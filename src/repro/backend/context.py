@@ -115,6 +115,20 @@ class WorkspacePool:
             self._buffers[tag] = buf
         return buf[: shape[0]]
 
+    def matrix(self, tag: str, shape: tuple[int, ...], dtype=np.float64) -> Any:
+        """Scratch matrix served from a *flat* high-water-mark buffer.
+
+        Unlike :meth:`stack`, whose cache keys on the trailing dimensions
+        matching exactly, this reshapes a 1-D buffer sized to the element
+        count — so a sequence of ``(N, N)`` requests with varying ``N``
+        (the divide-and-conquer merge wave) reuses one allocation once the
+        largest merge has been seen.
+        """
+        count = 1
+        for dim in shape:
+            count *= int(dim)
+        return self.stack(tag, (count,), dtype=dtype).reshape(shape)
+
     def clear(self) -> None:
         self._buffers.clear()
 

@@ -84,9 +84,12 @@ def _solve_tridiagonal(
     solver: str,
     compute_vectors: bool,
     ctx: ExecutionContext | None = None,
+    secular_mode: str = "batched",
 ) -> tuple[np.ndarray, np.ndarray | None]:
     if solver == "dc":
-        return dc_eigh(d, e, compute_vectors=compute_vectors, ctx=ctx)
+        return dc_eigh(
+            d, e, compute_vectors=compute_vectors, ctx=ctx, secular_mode=secular_mode
+        )
     if solver == "qr":
         return tridiag_qr_eigh(d, e, compute_vectors=compute_vectors)
     if solver == "bisect":
@@ -158,6 +161,7 @@ def eigh(
     compute_vectors: bool = True,
     solver: str = "dc",
     backend: str | ArrayBackend | ExecutionContext | None = None,
+    secular_mode: str = "batched",
     **tridiag_kwargs,
 ) -> EVDResult:
     """Full symmetric EVD of ``A``.
@@ -176,11 +180,18 @@ def eigh(
         Compute eigenvectors (the expensive back-transformation path).
     solver : {"dc", "qr", "bisect"}
         Tridiagonal eigensolver.
+    secular_mode : {"batched", "scalar"}
+        Secular-equation execution mode of the ``"dc"`` solver:
+        ``"batched"`` (default) iterates all roots of each merge as
+        stacked array sweeps, ``"scalar"`` is the original per-root loop
+        kept as a cross-check oracle (ignored by other solvers).
     backend : str, ArrayBackend or ExecutionContext, optional
         Execution substrate for the whole pipeline (see
         :func:`repro.core.tridiag.tridiagonalize`); stage times land in
         ``result.tridiag.ctx.stage_times`` under ``"tridiagonalize"``,
-        ``"tridiag_solver"`` and ``"back_transform"``.
+        ``"tridiag_solver"`` and ``"back_transform"``, with the D&C
+        sub-stages ``"dc_leaf"``, ``"dc_deflate"``, ``"dc_secular"`` and
+        ``"dc_gemm"`` nested inside the solver time.
     **tridiag_kwargs
         Forwarded to :func:`repro.core.tridiag.tridiagonalize`
         (``bandwidth``, ``second_block``, ``max_sweeps``, ...).
@@ -203,7 +214,9 @@ def eigh(
     with ctx.stage("tridiagonalize", method=method):
         tri = tridiagonalize(A, backend=ctx, **kwargs)
     with ctx.stage("tridiag_solver", solver=solver):
-        lam, U = _solve_tridiagonal(tri.d, tri.e, solver, compute_vectors, ctx=ctx)
+        lam, U = _solve_tridiagonal(
+            tri.d, tri.e, solver, compute_vectors, ctx=ctx, secular_mode=secular_mode
+        )
     V: np.ndarray | None = None
     if compute_vectors:
         assert U is not None

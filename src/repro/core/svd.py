@@ -27,6 +27,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..backend.base import ArrayBackend
+from ..backend.context import ExecutionContext, resolve_context
 from ..eig.dc import dc_eigh
 from .householder import make_householder
 
@@ -128,7 +130,10 @@ def golub_kahan_tridiagonal(d: np.ndarray, f: np.ndarray) -> tuple[np.ndarray, n
 
 
 def svd(
-    A: np.ndarray, compute_vectors: bool = True
+    A: np.ndarray,
+    compute_vectors: bool = True,
+    backend: str | ArrayBackend | ExecutionContext | None = None,
+    secular_mode: str = "batched",
 ) -> tuple[np.ndarray, np.ndarray | None, np.ndarray | None]:
     """Full SVD ``A = U diag(s) V^T`` via the reproduced pipeline.
 
@@ -139,6 +144,15 @@ def svd(
         swap the returned factors).
     compute_vectors : bool
         Return ``U`` (m x n, thin) and ``V`` (n x n).
+    backend : str, ArrayBackend or ExecutionContext, optional
+        Execution context threaded into the divide-and-conquer solve of
+        the Golub–Kahan tridiagonal, exactly as :func:`repro.core.eigh`
+        does — the caller's backend, workspace pool, and stage-event
+        hooks (``bidiagonalize``, ``tridiag_solver`` and the ``dc_*``
+        sub-stages) all apply.
+    secular_mode : {"batched", "scalar"}
+        Secular-equation mode of the divide-and-conquer solve (see
+        :func:`repro.eig.dc_eigh`).
 
     Returns
     -------
@@ -151,9 +165,14 @@ def svd(
         raise ValueError("svd expects m >= n; pass A.T and swap U/V")
     if n == 0:
         return np.zeros(0), None, None
-    bd = bidiagonalize(A)
+    ctx = resolve_context(backend)
+    with ctx.stage("bidiagonalize", m=m, n=n):
+        bd = bidiagonalize(A)
     dt, et = golub_kahan_tridiagonal(bd.d, bd.f)
-    lam, W = dc_eigh(dt, et, compute_vectors=compute_vectors)
+    with ctx.stage("tridiag_solver", solver="dc"):
+        lam, W = dc_eigh(
+            dt, et, compute_vectors=compute_vectors, ctx=ctx, secular_mode=secular_mode
+        )
     # Eigenvalues come in ±sigma pairs (ascending); the top n are +sigma.
     s = lam[2 * n - 1 : n - 1 : -1].copy()
     s[s < 0] = 0.0  # roundoff on zero singular values

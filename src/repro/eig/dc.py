@@ -1,7 +1,7 @@
 """Cuppen's divide-and-conquer symmetric tridiagonal eigensolver.
 
 This is the from-scratch ``Dstedc`` substrate the paper integrates from
-MAGMA for the end-to-end EVD (Section 6.2).  The recursion tears the
+MAGMA for the end-to-end EVD (Section 6.2).  The solver tears the
 tridiagonal ``T`` into two halves plus a rank-one coupling,
 
     T = diag(T1', T2') + rho v v^T,   rho = e_{m-1},  v = e_{m-1} + e_m,
@@ -13,7 +13,22 @@ solves the halves, and merges them through the symmetric rank-one update
 ``dlaed2``.  Eigenvector merging is one big GEMM per level — the BLAS3
 shape that makes D&C the method of choice on GPUs.
 
-The eigenvalues-only path never forms eigenvectors: the recursion carries
+Execution is an explicit *level-order* walk over the merge tree rather
+than a recursion: the diagonal is torn once up front (every tear touches
+a disjoint index pair), the base-case QL solves at the leaves run as one
+grouped pass, and then each level's independent merges execute
+back-to-back sharing the context's :class:`~repro.backend.WorkspacePool`
+— the same wavefront shape the bulge-chasing engine uses per round.
+Every merge reports its three sub-stages (``dc_deflate``, ``dc_secular``,
+``dc_gemm``) through the :class:`~repro.backend.ExecutionContext` timing
+hooks, so ``SolverService.stats()`` and the benchmark artifacts can
+attribute D&C time below the ``tridiag_solver`` line.
+
+The secular stage runs vectorized (``secular_mode="batched"``) by
+default; ``secular_mode="scalar"`` selects the original per-root loops as
+a bit-exact oracle, mirroring the ``bc_driver="pipelined"`` precedent.
+
+The eigenvalues-only path never forms eigenvectors: the tree carries
 just the *first and last rows* of each subproblem's eigenvector matrix
 (all a merge needs to build ``z``), turning the ``O(n^3)`` vector cost
 into ``O(n^2)`` — mirroring the cheap `Dstedc`-eigenvalues-only mode whose
@@ -44,6 +59,8 @@ class DCStats:
     secular_size_total: int = 0
     gemm_flops: float = 0.0
     sizes: list[int] = field(default_factory=list)
+    levels: int = 0
+    leaves: int = 0
 
     @property
     def deflation_fraction(self) -> float:
@@ -58,6 +75,7 @@ def _rank_one_update(
     Q: np.ndarray,
     stats: DCStats,
     ctx: ExecutionContext,
+    secular_mode: str,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Eigensystem of ``diag(D) + rho z z^T`` expressed through ``Q``.
 
@@ -66,10 +84,11 @@ def _rank_one_update(
     columns are transformed exactly like eigenvectors.  Returns
     ``(lam ascending, Q_updated)``.
     """
-    N = D.size
     if rho < 0.0:
         # eig(D + rho z z^T) = -rev(eig(-rev(D) + |rho| rev(z) rev(z)^T))
-        lam_r, Q_r = _rank_one_update(-D[::-1], z[::-1], -rho, Q[:, ::-1], stats, ctx)
+        lam_r, Q_r = _rank_one_update(
+            -D[::-1], z[::-1], -rho, Q[:, ::-1], stats, ctx, secular_mode
+        )
         return -lam_r[::-1], Q_r[:, ::-1]
 
     znorm2 = float(z @ z)
@@ -77,61 +96,67 @@ def _rank_one_update(
         order = np.argsort(D, kind="stable")
         return D[order], Q[:, order]
 
-    order = np.argsort(D, kind="stable")
-    D = D[order].copy()
-    z = z[order].copy()
-    Q = Q[:, order].copy()
+    with ctx.stage("dc_deflate", n=D.size):
+        order = np.argsort(D, kind="stable")
+        D = D[order].copy()
+        z = z[order].copy()
+        Q = Q[:, order].copy()
 
-    znorm = np.sqrt(znorm2)
-    norm_m = float(np.max(np.abs(D))) + rho * znorm2
-    tol_z = 4.0 * _EPS * norm_m / max(rho * znorm, np.finfo(np.float64).tiny)
-    tol_gap = 16.0 * _EPS * norm_m
+        znorm = np.sqrt(znorm2)
+        norm_m = float(np.max(np.abs(D))) + rho * znorm2
+        tol_z = 4.0 * _EPS * norm_m / max(rho * znorm, np.finfo(np.float64).tiny)
+        tol_gap = 16.0 * _EPS * norm_m
 
-    deflated = np.abs(z) <= tol_z
+        deflated = np.abs(z) <= tol_z
 
-    # Givens deflation of (near-)equal poles among the survivors.
-    live = np.flatnonzero(~deflated)
-    prev = -1
-    for cur in live:
-        if prev >= 0 and D[cur] - D[prev] <= tol_gap:
-            r = np.hypot(z[prev], z[cur])
-            c = z[cur] / r
-            s = z[prev] / r
-            z[cur] = r
-            z[prev] = 0.0
-            # Rotate the 2x2 diagonal block; the off-diagonal it creates is
-            # |c s (D_prev - D_cur)| <= tol_gap / 2 and is dropped (that is
-            # the deflation error, bounded by the perturbation tolerance).
-            dp, dc_ = D[prev], D[cur]
-            D[prev] = c * c * dp + s * s * dc_
-            D[cur] = s * s * dp + c * c * dc_
-            qp = Q[:, prev].copy()
-            Q[:, prev] = c * qp - s * Q[:, cur]
-            Q[:, cur] = s * qp + c * Q[:, cur]
-            deflated[prev] = True
-        prev = cur
+        # Givens deflation of (near-)equal poles among the survivors.
+        live = np.flatnonzero(~deflated)
+        prev = -1
+        for cur in live:
+            if prev >= 0 and D[cur] - D[prev] <= tol_gap:
+                r = np.hypot(z[prev], z[cur])
+                c = z[cur] / r
+                s = z[prev] / r
+                z[cur] = r
+                z[prev] = 0.0
+                # Rotate the 2x2 diagonal block; the off-diagonal it creates is
+                # |c s (D_prev - D_cur)| <= tol_gap / 2 and is dropped (that is
+                # the deflation error, bounded by the perturbation tolerance).
+                dp, dc_ = D[prev], D[cur]
+                D[prev] = c * c * dp + s * s * dc_
+                D[cur] = s * s * dp + c * c * dc_
+                qp = Q[:, prev].copy()
+                Q[:, prev] = c * qp - s * Q[:, cur]
+                Q[:, cur] = s * qp + c * Q[:, cur]
+                deflated[prev] = True
+            prev = cur
 
-    nd = np.flatnonzero(~deflated)
-    df = np.flatnonzero(deflated)
-    stats.deflated += df.size
-    stats.secular_size_total += nd.size
+        nd = np.flatnonzero(~deflated)
+        df = np.flatnonzero(deflated)
+        stats.deflated += df.size
+        stats.secular_size_total += nd.size
 
     if nd.size == 0:
         order = np.argsort(D, kind="stable")
         return D[order], Q[:, order]
 
-    roots = solve_all_roots(D[nd], z[nd], rho)
-    lam_nd = roots.values
-    zhat = refine_z(roots, z[nd], rho)
-    S = secular_eigenvectors(roots, zhat)
-    if ctx.is_numpy:
-        Q_nd = Q[:, nd] @ S
-    else:
-        # The one BLAS3 shape of the merge — route it to the backend; the
-        # secular machinery around it is scalar-bound and stays host-side.
-        Q_nd = ctx.to_numpy(
-            ctx.from_numpy(np.ascontiguousarray(Q[:, nd])) @ ctx.from_numpy(S)
-        )
+    # The big (N, N) secular intermediates come from the context's pool in
+    # batched mode, so back-to-back merges at one level allocate nothing.
+    pool = ctx.workspace if (secular_mode == "batched" and ctx.is_numpy) else None
+    with ctx.stage("dc_secular", n=int(nd.size), mode=secular_mode):
+        roots = solve_all_roots(D[nd], z[nd], rho, mode=secular_mode, workspace=pool)
+        lam_nd = roots.values
+        zhat = refine_z(roots, z[nd], rho, mode=secular_mode, workspace=pool)
+        S = secular_eigenvectors(roots, zhat, mode=secular_mode, workspace=pool)
+    with ctx.stage("dc_gemm", rows=int(Q.shape[0]), k=int(nd.size)):
+        if ctx.is_numpy:
+            Q_nd = Q[:, nd] @ S
+        else:
+            # The one BLAS3 shape of the merge — route it to the backend; the
+            # secular machinery around it is scalar-bound and stays host-side.
+            Q_nd = ctx.to_numpy(
+                ctx.from_numpy(np.ascontiguousarray(Q[:, nd])) @ ctx.from_numpy(S)
+            )
     stats.gemm_flops += 2.0 * Q.shape[0] * nd.size * nd.size
 
     lam_all = np.concatenate([lam_nd, D[df]])
@@ -145,55 +170,107 @@ def _block_diag_rows(
 ) -> np.ndarray:
     """The carried basis for a merge: full block diagonal in vector mode,
     or just its first and last rows in eigenvalues-only mode."""
+    assert U1.dtype == np.float64 and U2.dtype == np.float64, (
+        "carried eigenvector bases must stay float64 "
+        f"(got {U1.dtype} / {U2.dtype})"
+    )
     n1, k1 = U1.shape
     n2, k2 = U2.shape
     if rows_only:
-        Q = np.zeros((2, k1 + k2))
+        Q = np.zeros((2, k1 + k2), dtype=np.float64)
         Q[0, :k1] = U1[0]
         Q[1, k1:] = U2[-1]
         return Q
-    Q = np.zeros((n1 + n2, k1 + k2))
+    Q = np.zeros((n1 + n2, k1 + k2), dtype=np.float64)
     Q[:n1, :k1] = U1
     Q[n1:, k1:] = U2
     return Q
 
 
-def _dc_recurse(
+def _merge_tree(n: int, base_size: int) -> tuple[list[tuple[int, int]], list[list]]:
+    """Split ``[0, n)`` like the classic recursion, but materialized.
+
+    Returns ``(leaves, levels)``: ``leaves`` are the base-case segments
+    ``(start, end)``; ``levels[k]`` holds the internal nodes
+    ``(start, end, mid)`` at depth ``k``, deepest level last — executing
+    the levels in *reverse* order is exactly the bottom-up merge wave.
+    """
+    leaves: list[tuple[int, int]] = []
+    levels: list[list] = []
+    frontier = [(0, n)]
+    while frontier:
+        next_frontier = []
+        level_nodes = []
+        for s, t in frontier:
+            if t - s <= base_size:
+                leaves.append((s, t))
+            else:
+                m = s + (t - s) // 2
+                level_nodes.append((s, t, m))
+                next_frontier.append((s, m))
+                next_frontier.append((m, t))
+        if level_nodes:
+            levels.append(level_nodes)
+        frontier = next_frontier
+    return leaves, levels
+
+
+def _dc_level_order(
     d: np.ndarray,
     e: np.ndarray,
     rows_only: bool,
     base_size: int,
     stats: DCStats,
     ctx: ExecutionContext,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Returns ``(lam, Q, z_top, z_bottom)`` where ``Q`` is the carried
-    basis (full or 2-row) and ``z_top``/``z_bottom`` are the first/last
-    rows of the true eigenvector matrix (needed to build ``z`` upstairs)."""
+    secular_mode: str,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Execute the merge tree level by level.
+
+    Returns ``(lam, Q)`` where ``Q`` is the carried basis (full or
+    2-row).  Intermediate results live in a dict keyed by segment; each
+    merge pops its children, so peak memory matches the recursion.
+    """
     n = d.size
-    if n <= base_size:
-        lam, U = tridiag_qr_eigh(d, e, compute_vectors=True)
-        if rows_only:
-            Q = np.vstack([U[0], U[-1]])
-        else:
-            Q = U
-        return lam, Q, Q[0].copy(), Q[-1].copy()
+    leaves, levels = _merge_tree(n, base_size)
+    stats.leaves = len(leaves)
+    stats.levels = len(levels)
 
-    m = n // 2
-    rho = float(e[m - 1])
-    d1 = d[:m].copy()
-    d2 = d[m:].copy()
-    d1[-1] -= rho
-    d2[0] -= rho
-    lam1, Q1, _, last1 = _dc_recurse(d1, e[: m - 1], rows_only, base_size, stats, ctx)
-    lam2, Q2, first2, _ = _dc_recurse(d2, e[m:], rows_only, base_size, stats, ctx)
+    # Tear the diagonal once, up front.  Each internal node's rank-one
+    # coupling rho = e[m-1] subtracts from exactly d[m-1] and d[m], and
+    # the torn pairs of distinct nodes are disjoint, so a single pass is
+    # bit-identical to the recursive tear order.
+    dmod = np.array(d, dtype=np.float64, copy=True)
+    for level_nodes in levels:
+        for _s, _t, m in level_nodes:
+            rho = e[m - 1]
+            dmod[m - 1] -= rho
+            dmod[m] -= rho
 
-    D = np.concatenate([lam1, lam2])
-    z = np.concatenate([last1, first2])
-    Q = _block_diag_rows(Q1, Q2, rows_only)
-    stats.merges += 1
-    stats.sizes.append(n)
-    lam, Qout = _rank_one_update(D, z, rho, Q, stats, ctx)
-    return lam, Qout, Qout[0].copy(), Qout[-1].copy()
+    # Grouped base-case solves: every leaf in one pass.
+    done: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
+    with ctx.stage("dc_leaf", count=len(leaves)):
+        for s, t in leaves:
+            lam, U = tridiag_qr_eigh(dmod[s:t], e[s : t - 1], compute_vectors=True)
+            Q = np.vstack([U[0], U[-1]]) if rows_only else U
+            done[(s, t)] = (lam, Q)
+
+    # Merge wave: deepest level first; the merges inside one level are
+    # independent and run back-to-back over the shared workspace pool.
+    for level_nodes in reversed(levels):
+        for s, t, m in level_nodes:
+            lam1, Q1 = done.pop((s, m))
+            lam2, Q2 = done.pop((m, t))
+            rho = float(e[m - 1])
+            D = np.concatenate([lam1, lam2])
+            # z = Q^T v needs only the last row of the left basis and the
+            # first row of the right one.
+            z = np.concatenate([Q1[-1], Q2[0]])
+            Q = _block_diag_rows(Q1, Q2, rows_only)
+            stats.merges += 1
+            stats.sizes.append(t - s)
+            done[(s, t)] = _rank_one_update(D, z, rho, Q, stats, ctx, secular_mode)
+
+    return done[(0, n)]
 
 
 def dc_eigh(
@@ -203,6 +280,7 @@ def dc_eigh(
     base_size: int = 24,
     return_stats: bool = False,
     ctx: ExecutionContext | None = None,
+    secular_mode: str = "batched",
 ):
     """Eigendecomposition of ``tridiag(d, e)`` by divide and conquer.
 
@@ -218,8 +296,13 @@ def dc_eigh(
     return_stats : bool
         Also return a :class:`DCStats` with merge/deflation counters.
     ctx : ExecutionContext, optional
-        Execution context; the per-level eigenvector merge GEMM runs on
-        its backend (the secular solves stay on the host).
+        Execution context: the per-level eigenvector merge GEMM runs on
+        its backend, batched secular scratch comes from its workspace
+        pool, and every merge emits ``dc_deflate`` / ``dc_secular`` /
+        ``dc_gemm`` stage events through its hooks.
+    secular_mode : {"batched", "scalar"}
+        ``"batched"`` (default) runs the vectorized secular machinery;
+        ``"scalar"`` the original per-root loops (the bit-exact oracle).
 
     Returns
     -------
@@ -233,9 +316,13 @@ def dc_eigh(
         raise ValueError(f"e must have length n-1={n - 1}, got {e.size}")
     if base_size < 3:
         raise ValueError("base_size must be >= 3")
+    if secular_mode not in ("batched", "scalar"):
+        raise ValueError(
+            f"unknown secular_mode {secular_mode!r}; expected 'batched' or 'scalar'"
+        )
     stats = DCStats()
-    lam, Q, _, _ = _dc_recurse(
-        d, e, not compute_vectors, base_size, stats, resolve_context(ctx)
+    lam, Q = _dc_level_order(
+        d, e, not compute_vectors, base_size, stats, resolve_context(ctx), secular_mode
     )
     U = Q if compute_vectors else None
     if return_stats:

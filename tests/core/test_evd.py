@@ -70,3 +70,35 @@ class TestEVDPresets:
         lam = res.eigenvalues
         assert abs(lam[-1] - float(v @ v)) < 1e-9
         assert np.max(np.abs(lam[:-1])) < 1e-9
+
+
+class TestSecularModePlumbing:
+    """`secular_mode` flows from `eigh` through the D&C solver."""
+
+    def test_modes_agree_end_to_end(self, rng):
+        A = make_symmetric(72, seed=11)
+        rb = eigh(A, secular_mode="batched")
+        rs = eigh(A, secular_mode="scalar")
+        scale = max(float(np.max(np.abs(rs.eigenvalues))), 1.0)
+        assert np.max(np.abs(rb.eigenvalues - rs.eigenvalues)) < 1e-13 * scale
+        assert rb.residual(A) < 1e-12 and rs.residual(A) < 1e-12
+
+    def test_dc_substage_times_recorded(self, rng):
+        from repro.backend.context import ExecutionContext
+
+        ctx = ExecutionContext()
+        A = make_symmetric(64, seed=3)
+        eigh(A, backend=ctx)
+        assert {"dc_deflate", "dc_secular", "dc_gemm"} <= set(ctx.stage_times)
+        # The sub-stages nest inside the solver stage, so they cannot
+        # exceed it.
+        sub = sum(
+            ctx.stage_times[k]
+            for k in ("dc_leaf", "dc_deflate", "dc_secular", "dc_gemm")
+            if k in ctx.stage_times
+        )
+        assert sub <= ctx.stage_times["tridiag_solver"] + 1e-9
+
+    def test_unknown_mode_rejected(self, rng):
+        with pytest.raises(ValueError):
+            eigh(make_symmetric(16, seed=1), secular_mode="turbo")

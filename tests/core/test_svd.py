@@ -113,3 +113,44 @@ class TestSVD:
         s, U, V = svd(A)
         assert np.allclose(s, [5.0, 3.0, 1.0])
         assert np.allclose(np.abs(U), np.eye(3), atol=1e-12)
+
+
+class TestContextThreading:
+    """Regression: `svd` must run its D&C solve on the caller's context
+    (it used to re-resolve a fresh one, bypassing backend/workspace/hooks)."""
+
+    def test_caller_context_receives_stage_events(self, rng):
+        from repro.backend.context import ExecutionContext
+
+        events = []
+        ctx = ExecutionContext(hooks=[events.append])
+        A = rng.standard_normal((36, 30))  # GK tridiagonal size 60: real merges
+        s, U, V = svd(A, backend=ctx)
+        stages = {ev.stage for ev in events}
+        # The bidiagonalization, the tridiagonal solve, and the D&C
+        # sub-stages all flow through the caller's hooks.
+        assert {"bidiagonalize", "tridiag_solver"} <= stages
+        assert {"dc_deflate", "dc_secular", "dc_gemm"} <= stages
+        assert "tridiag_solver" in ctx.stage_times
+        # And the result is still correct.
+        assert np.max(np.abs(s - np.linalg.svd(A, compute_uv=False))) < 1e-11
+
+    def test_caller_workspace_is_used(self, rng):
+        from repro.backend.context import ExecutionContext
+
+        ctx = ExecutionContext()
+        svd(rng.standard_normal((40, 40)), backend=ctx)
+        # Batched secular scratch was drawn from *this* pool.
+        assert ctx.workspace.nbytes > 0
+
+    def test_backend_string_accepted(self, rng):
+        A = rng.standard_normal((10, 6))
+        s_default, _, _ = svd(A)
+        s_named, _, _ = svd(A, backend="numpy")
+        assert np.array_equal(s_default, s_named)
+
+    def test_secular_mode_threaded(self, rng):
+        A = rng.standard_normal((18, 18))
+        s_b, _, _ = svd(A, secular_mode="batched")
+        s_s, _, _ = svd(A, secular_mode="scalar")
+        assert np.max(np.abs(s_b - s_s)) < 1e-12 * max(s_s[0], 1.0)

@@ -1,4 +1,8 @@
-"""Unit tests for the secular equation solver and Gu-Eisenstat refinement."""
+"""Unit tests for the secular equation solver and Gu-Eisenstat refinement.
+
+Every numerical test runs twice — once per ``mode`` — so the vectorized
+batched kernels and the scalar oracle loops are exercised identically.
+"""
 
 from __future__ import annotations
 
@@ -13,6 +17,10 @@ from repro.eig.secular import (
     solve_secular_root,
 )
 
+pytestmark = pytest.mark.parametrize("mode", ["scalar", "batched"])
+
+_EPS = np.finfo(np.float64).eps
+
 
 def random_problem(rng, N=20, zscale=1.0):
     d = np.sort(rng.standard_normal(N))
@@ -24,113 +32,198 @@ def random_problem(rng, N=20, zscale=1.0):
 
 
 class TestRoots:
-    def test_interlacing(self, rng):
+    def test_interlacing(self, rng, mode):
         d, z, rho = random_problem(rng)
-        roots = solve_all_roots(d, z, rho)
+        roots = solve_all_roots(d, z, rho, mode=mode)
         lam = roots.values
         # rho > 0: d_i < lam_i < d_{i+1} (lam_N beyond d_N).
         assert np.all(lam[:-1] > d[:-1]) and np.all(lam[:-1] < d[1:])
         assert lam[-1] > d[-1]
 
-    def test_matches_dense_eigensolver(self, rng):
+    def test_matches_dense_eigensolver(self, rng, mode):
         d, z, rho = random_problem(rng, N=30)
-        lam = solve_all_roots(d, z, rho).values
+        lam = solve_all_roots(d, z, rho, mode=mode).values
         lam_ref = np.linalg.eigvalsh(np.diag(d) + rho * np.outer(z, z))
         assert np.max(np.abs(np.sort(lam) - lam_ref) / (1 + np.abs(lam_ref))) < 1e-13
 
-    def test_residual_of_each_root(self, rng):
+    def test_residual_of_each_root(self, rng, mode):
         d, z, rho = random_problem(rng, N=15)
         z2 = z * z
-        roots = solve_all_roots(d, z, rho)
+        roots = solve_all_roots(d, z, rho, mode=mode)
         for lam in roots.values:
             # |f| should be at roundoff of its own evaluation.
             scale = 1.0 + rho * float(np.sum(np.abs(z2 / (d - lam))))
             assert abs(secular_f(lam, d, z2, rho)) < 1e-11 * scale
 
-    def test_trace_identity(self, rng):
+    def test_trace_identity(self, rng, mode):
         # sum lam = sum d + rho ||z||^2.
         d, z, rho = random_problem(rng, N=25)
-        lam = solve_all_roots(d, z, rho).values
+        lam = solve_all_roots(d, z, rho, mode=mode).values
         assert abs(np.sum(lam) - (np.sum(d) + rho * float(z @ z))) < 1e-10
 
-    def test_large_z_scale(self, rng):
+    def test_large_z_scale(self, rng, mode):
         d, z, rho = random_problem(rng, N=20, zscale=1e4)
         M = np.diag(d) + rho * np.outer(z, z)
-        lam = solve_all_roots(d, z, rho).values
+        lam = solve_all_roots(d, z, rho, mode=mode).values
         lam_ref = np.linalg.eigvalsh(M)
         # Backward-error normalization: absolute errors scale with ||M||.
         scale = np.linalg.norm(M)
         assert np.max(np.abs(np.sort(lam) - lam_ref)) < 1e-13 * scale
 
-    def test_tiny_z_component_root_hugs_pole(self, rng):
+    def test_tiny_z_component_root_hugs_pole(self, rng, mode):
         d = np.array([0.0, 1.0, 2.0])
         z = np.array([1.0, 1e-10, 1.0])
         rho = 0.5
-        roots = solve_all_roots(d, z, rho)
+        roots = solve_all_roots(d, z, rho, mode=mode)
         lam = roots.values
         # Root 1 sits within ~rho*z^2 of its pole.
         assert abs(lam[1] - 1.0) < 1e-18
 
-    def test_root_index_bounds(self, rng):
+    def test_root_index_bounds(self, rng, mode):
         d, z, rho = random_problem(rng, N=5)
         with pytest.raises(IndexError):
             solve_secular_root(d, z**2, rho, 5)
 
-    def test_negative_rho_rejected(self, rng):
+    def test_negative_rho_rejected(self, rng, mode):
         d, z, rho = random_problem(rng, N=5)
         with pytest.raises(ValueError):
             solve_secular_root(d, z**2, -rho, 0)
+        with pytest.raises(ValueError):
+            solve_all_roots(d, z, -rho, mode=mode)
 
-    def test_anchor_offset_consistency(self, rng):
+    def test_anchor_offset_consistency(self, rng, mode):
         d, z, rho = random_problem(rng, N=12)
-        roots = solve_all_roots(d, z, rho)
+        roots = solve_all_roots(d, z, rho, mode=mode)
         lam = roots.values
         for i in range(12):
             assert abs(lam[i] - (d[roots.anchors[i]] + roots.offsets[i])) == 0.0
 
+    def test_unknown_mode_rejected(self, rng, mode):
+        d, z, rho = random_problem(rng, N=5)
+        with pytest.raises(ValueError):
+            solve_all_roots(d, z, rho, mode="vectorised")
+
 
 class TestRefineZ:
-    def test_refined_close_to_original(self, rng):
+    def test_refined_close_to_original(self, rng, mode):
         d, z, rho = random_problem(rng, N=20)
-        roots = solve_all_roots(d, z, rho)
-        zhat = refine_z(roots, z, rho)
+        roots = solve_all_roots(d, z, rho, mode=mode)
+        zhat = refine_z(roots, z, rho, mode=mode)
         assert np.max(np.abs(zhat - z) / np.abs(z)) < 1e-8
 
-    def test_signs_preserved(self, rng):
+    def test_signs_preserved(self, rng, mode):
         d, z, rho = random_problem(rng, N=16)
-        roots = solve_all_roots(d, z, rho)
-        zhat = refine_z(roots, z, rho)
+        roots = solve_all_roots(d, z, rho, mode=mode)
+        zhat = refine_z(roots, z, rho, mode=mode)
         assert np.all(np.sign(zhat) == np.sign(z))
 
-    def test_roots_exact_for_refined_problem(self, rng):
+    def test_roots_exact_for_refined_problem(self, rng, mode):
         d, z, rho = random_problem(rng, N=12)
-        roots = solve_all_roots(d, z, rho)
-        zhat = refine_z(roots, z, rho)
+        roots = solve_all_roots(d, z, rho, mode=mode)
+        zhat = refine_z(roots, z, rho, mode=mode)
         lam_hat = np.linalg.eigvalsh(np.diag(d) + rho * np.outer(zhat, zhat))
         assert np.max(np.abs(np.sort(roots.values) - lam_hat)) < 1e-11
 
 
 class TestEigenvectors:
-    def test_orthonormal(self, rng):
+    def test_orthonormal(self, rng, mode):
         d, z, rho = random_problem(rng, N=25)
-        roots = solve_all_roots(d, z, rho)
-        U = secular_eigenvectors(roots, refine_z(roots, z, rho))
+        roots = solve_all_roots(d, z, rho, mode=mode)
+        U = secular_eigenvectors(roots, refine_z(roots, z, rho, mode=mode), mode=mode)
         assert np.linalg.norm(U.T @ U - np.eye(25)) < 1e-12
 
-    def test_residual(self, rng):
+    def test_residual(self, rng, mode):
         d, z, rho = random_problem(rng, N=25)
         M = np.diag(d) + rho * np.outer(z, z)
-        roots = solve_all_roots(d, z, rho)
-        U = secular_eigenvectors(roots, refine_z(roots, z, rho))
+        roots = solve_all_roots(d, z, rho, mode=mode)
+        U = secular_eigenvectors(roots, refine_z(roots, z, rho, mode=mode), mode=mode)
         lam = roots.values
         assert np.linalg.norm(M @ U - U * lam) / np.linalg.norm(M) < 1e-11
 
-    def test_clustered_poles_stay_orthogonal(self, rng):
+    def test_clustered_poles_stay_orthogonal(self, rng, mode):
         # Poles separated by barely more than deflation tolerances.
         N = 10
         d = np.sort(np.concatenate([np.zeros(5), np.ones(5)]) + 1e-7 * np.arange(N))
         z = rng.standard_normal(N)
         rho = 1.0
-        roots = solve_all_roots(d, z, rho)
-        U = secular_eigenvectors(roots, refine_z(roots, z, rho))
+        roots = solve_all_roots(d, z, rho, mode=mode)
+        U = secular_eigenvectors(roots, refine_z(roots, z, rho, mode=mode), mode=mode)
         assert np.linalg.norm(U.T @ U - np.eye(N)) < 1e-10
+
+
+class TestBatchedOracleAgreement:
+    """The batched kernels against the scalar oracle on hostile inputs."""
+
+    def _full_stack(self, d, z, rho, mode):
+        roots = solve_all_roots(d, z, rho, mode=mode)
+        zhat = refine_z(roots, z, rho, mode=mode)
+        U = secular_eigenvectors(roots, zhat, mode=mode)
+        return roots, zhat, U
+
+    def assert_modes_agree(self, d, z, rho, mode):
+        del mode  # both run explicitly; keeps the shared parametrization
+        rs, zs, Us = self._full_stack(d, z, rho, "scalar")
+        rb, zb, Ub = self._full_stack(d, z, rho, "batched")
+        assert np.array_equal(rs.anchors, rb.anchors)
+        scale = max(float(np.max(np.abs(d))) + rho * float(z @ z), 1.0)
+        assert np.max(np.abs(rs.values - rb.values)) <= 4.0 * _EPS * scale
+        assert np.max(np.abs(zs - zb)) <= 1e-12 * max(float(np.max(np.abs(zs))), 1.0)
+        # Columns are sign-fixed by zhat, so they compare directly.
+        assert np.max(np.abs(Us - Ub)) < 1e-11
+
+    def test_random(self, rng, mode):
+        d, z, rho = random_problem(rng, N=40)
+        self.assert_modes_agree(d, z, rho, mode)
+
+    def test_clustered_poles_8eps(self, rng, mode):
+        # Pole spacing of ~8*eps*scale: just above what dlaed2-style
+        # deflation removes, the hardest surviving geometry.
+        N = 24
+        d = 1.0 + 8.0 * _EPS * np.arange(N)
+        z = rng.standard_normal(N)
+        z[np.abs(z) < 1e-3] = 1e-3
+        self.assert_modes_agree(d, z, 1.0, mode)
+
+    def test_degenerate_n1(self, rng, mode):
+        self.assert_modes_agree(np.array([0.3]), np.array([0.9]), 0.8, mode)
+
+    def test_degenerate_n2(self, rng, mode):
+        self.assert_modes_agree(
+            np.array([-0.5, 0.25]), np.array([0.6, -0.7]), 1.3, mode
+        )
+
+    def test_wide_dynamic_range(self, rng, mode):
+        d = np.geomspace(1e-8, 1e8, 30)
+        z = rng.standard_normal(30)
+        z[np.abs(z) < 1e-3] = 1e-3
+        self.assert_modes_agree(d, z, 0.5, mode)
+
+
+class TestWorkspacePooling:
+    def test_pool_backed_results_match_fresh(self, rng, mode):
+        from repro.backend.context import ExecutionContext
+
+        d, z, rho = random_problem(rng, N=30)
+        pool = ExecutionContext().workspace
+        roots_p = solve_all_roots(d, z, rho, mode=mode, workspace=pool)
+        roots_f = solve_all_roots(d, z, rho, mode=mode)
+        assert np.array_equal(roots_p.values, roots_f.values)
+        zh_p = refine_z(roots_p, z, rho, mode=mode, workspace=pool)
+        zh_f = refine_z(roots_f, z, rho, mode=mode)
+        assert np.array_equal(zh_p, zh_f)
+        U_p = secular_eigenvectors(roots_p, zh_p, mode=mode, workspace=pool)
+        U_f = secular_eigenvectors(roots_f, zh_f, mode=mode)
+        assert np.array_equal(np.asarray(U_p), U_f)
+
+    def test_pool_reuse_across_shrinking_sizes(self, rng, mode):
+        from repro.backend.context import ExecutionContext
+
+        pool = ExecutionContext().workspace
+        for N in (40, 24, 8):
+            d, z, rho = random_problem(rng, N=N)
+            roots = solve_all_roots(d, z, rho, mode=mode, workspace=pool)
+            U = secular_eigenvectors(
+                roots, refine_z(roots, z, rho, mode=mode, workspace=pool),
+                mode=mode, workspace=pool,
+            )
+            assert np.linalg.norm(np.asarray(U).T @ U - np.eye(N)) < 1e-12

@@ -98,3 +98,22 @@ class TestServiceMetrics:
         assert snap["submitted"] == 1
         assert snap["latency_s"]["count"] == 1
         assert snap["batch_sizes"] == {"2": 1}
+
+
+class TestDCStageAttribution:
+    def test_dc_substages_surface_in_service_stats(self):
+        """Worker contexts forward the D&C merge sub-stage events, so
+        `stats()` attributes solver time below `tridiag_solver`."""
+        import numpy as np
+
+        from repro.serve import ServiceConfig, SolverService
+
+        rng = np.random.default_rng(5)
+        g = rng.standard_normal((48, 48))
+        A = (g + g.T) / 2.0
+        cfg = ServiceConfig(workers=1, dense_fastpath_max_n=0, cache_entries=0)
+        with SolverService(cfg) as svc:
+            svc.submit(A).result(timeout=60)
+            stage_times = svc.stats()["metrics"]["stage_times"]
+        assert {"dc_deflate", "dc_secular", "dc_gemm"} <= set(stage_times)
+        assert all(v["seconds"] >= 0.0 for v in stage_times.values())
