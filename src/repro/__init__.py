@@ -16,6 +16,14 @@ Public API highlights
     Tridiagonal eigensolvers (divide & conquer, QL iteration, bisection).
 ``repro.band``
     Band-matrix storage (LAPACK lower band + the paper's packed layout).
+``repro.plan``
+    The typed planning layer: ``plan_evd(n, method=...)`` resolves
+    presets + knobs into a frozen, validated
+    :class:`~repro.plan.EVDPlan`; ``execute_plan(A, plan)`` is the one
+    stage runner every entry point (``eigh``/``eigh_partial``/``svd``/
+    the serving workers) executes through, and
+    ``plan.cache_token()`` is the canonical cache identity the serving
+    layer keys on.
 ``repro.backend``
     Pluggable array backends (NumPy default, optional CuPy/PyTorch) and
     the :class:`~repro.backend.ExecutionContext` threaded through the
@@ -30,7 +38,7 @@ Public API highlights
     that regenerate the paper's tables and figures at device scale.
 """
 
-from . import backend, band, core, eig, serve
+from . import backend, band, core, eig, plan, serve
 from .backend import (
     ArrayBackend,
     BackendUnavailable,
@@ -52,6 +60,7 @@ from .core import (
     tridiagonalize,
 )
 from .eig import dc_eigh, eigh_bisect, tridiag_qr_eigh
+from .plan import EVDPlan, PlanError, execute_plan, explain_plan, plan_evd
 from .serve import ServiceConfig, SolverService
 
 __version__ = "1.0.0"
@@ -59,8 +68,10 @@ __version__ = "1.0.0"
 __all__ = [
     "ArrayBackend",
     "BackendUnavailable",
+    "EVDPlan",
     "EVDResult",
     "ExecutionContext",
+    "PlanError",
     "TridiagResult",
     "available_backends",
     "backend",
@@ -76,7 +87,11 @@ __all__ = [
     "eigh_hermitian",
     "eigh_partial",
     "eigh_stacked",
+    "execute_plan",
+    "explain_plan",
     "matrix_fingerprint",
+    "plan",
+    "plan_evd",
     "sbr",
     "serve",
     "ServiceConfig",

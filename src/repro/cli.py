@@ -3,6 +3,8 @@
 Commands
 --------
 ``evd``          run a full symmetric EVD on a random matrix and verify it
+``plan``         resolve an EVD plan and print it (``--explain`` adds the
+                 model-predicted per-stage time breakdown)
 ``tridiag``      run just the tridiagonalization (any of the 4 methods)
 ``figure``       regenerate a paper figure's data from the calibrated model
 ``simulate-bc``  simulate the GPU bulge-chasing pipeline at any scale
@@ -14,6 +16,7 @@ Examples
 ::
 
     python -m repro evd --n 400 --method proposed
+    python -m repro plan --n 4096 --method proposed --explain
     python -m repro tridiag --n 300 --method dbbr --bandwidth 8 --second-block 32
     python -m repro figure fig15
     python -m repro simulate-bc --n 65536 --bandwidth 32 --sweeps 128
@@ -49,6 +52,32 @@ def build_parser() -> argparse.ArgumentParser:
     evd.add_argument("--backend", default="numpy",
                      choices=["numpy", "cupy", "torch", "auto"],
                      help="array backend for the hot-path kernels")
+
+    pl = sub.add_parser(
+        "plan",
+        help="resolve an EVD plan and print it (no matrix is solved)",
+    )
+    pl.add_argument("--n", type=int, default=1024)
+    pl.add_argument("--method", default="proposed",
+                    help="pipeline preset or tridiagonalization method "
+                         "(proposed, magma, cusolver, plasma, dense, "
+                         "dbbr, sbr, tile, direct)")
+    pl.add_argument("--solver", default="dc", choices=["dc", "qr", "bisect"])
+    pl.add_argument("--no-vectors", action="store_true")
+    pl.add_argument("--backend", default="numpy",
+                    choices=["numpy", "cupy", "torch", "auto"])
+    pl.add_argument("--bandwidth", type=int, default=None)
+    pl.add_argument("--second-block", type=int, default=None)
+    pl.add_argument("--max-sweeps", type=int, default=None)
+    pl.add_argument("--tuning", default="manual", choices=["manual", "model"],
+                    help="'model' picks b/k by minimizing the calibrated "
+                         "analytical cost model instead of auto_params")
+    pl.add_argument("--device", default="h100",
+                    help="device preset for --tuning model and --explain")
+    pl.add_argument("--explain", action="store_true",
+                    help="add the model-predicted per-stage time breakdown")
+    pl.add_argument("--json", action="store_true",
+                    help="emit the resolved plan as JSON (plan.to_dict())")
 
     tri = sub.add_parser("tridiag", help="tridiagonalization only")
     tri.add_argument("--n", type=int, default=300)
@@ -122,6 +151,42 @@ def _cmd_evd(args) -> int:
         n = args.n
         orth = np.linalg.norm(res.eigenvectors.T @ res.eigenvectors - np.eye(n))
         print(f"  orthogonality: {orth:.2e}")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    from repro.plan import PlanError, explain_plan, plan_evd
+
+    knobs = {}
+    if args.bandwidth is not None:
+        knobs["bandwidth"] = args.bandwidth
+    if args.second_block is not None:
+        knobs["second_block"] = args.second_block
+    if args.max_sweeps is not None:
+        knobs["max_sweeps"] = args.max_sweeps
+    try:
+        plan = plan_evd(
+            args.n,
+            args.method,
+            compute_vectors=not args.no_vectors,
+            solver=args.solver,
+            backend=args.backend,
+            tuning=args.tuning,
+            device=args.device,
+            **knobs,
+        )
+    except PlanError as exc:
+        print(f"plan error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        import json
+
+        print(json.dumps(plan.to_dict(), indent=2))
+        return 0
+    if args.explain:
+        print(explain_plan(plan, device=args.device))
+    else:
+        print(plan.describe())
     return 0
 
 
@@ -253,6 +318,7 @@ def _cmd_devices(args) -> int:
 
 _COMMANDS = {
     "evd": _cmd_evd,
+    "plan": _cmd_plan,
     "tridiag": _cmd_tridiag,
     "figure": _cmd_figure,
     "simulate-bc": _cmd_simulate_bc,

@@ -69,7 +69,12 @@ from .syr2k import (
     syr2k_reference,
     syr2k_square_blocked,
 )
-from .tridiag import TridiagResult, auto_params, tridiagonalize
+from .tridiag import (
+    TridiagResult,
+    auto_params,
+    tridiagonalize,
+    tridiagonalize_planned,
+)
 from .validation import (
     EmptyMatrixError,
     NonFiniteError,
@@ -161,5 +166,6 @@ __all__ = [
     "tile_sbr",
     "tile_task_dag",
     "tridiagonalize",
+    "tridiagonalize_planned",
     "WorkingBand",
 ]

@@ -30,25 +30,12 @@ import numpy as np
 
 from ..backend.base import ArrayBackend
 from ..backend.context import ExecutionContext, resolve_context
-from ..eig.dc import dc_eigh
-from ..eig.qr_iteration import tridiag_qr_eigh
-from ..eig.sturm import eigh_bisect, eigvals_bisect, inverse_iteration
-from .tridiag import TridiagResult, tridiagonalize
+from ..plan.planner import plan_evd
+from ..plan.runner import execute_plan, execute_plan_partial
+from .tridiag import TridiagResult
 from .validation import EmptyMatrixError, NonSquareError, check_symmetric
 
 __all__ = ["EVDResult", "eigh", "eigh_partial", "eigh_stacked"]
-
-_PRESETS = {
-    "proposed": dict(
-        method="dbbr",
-        pipelined=True,
-        bc_driver="wavefront",
-        back_transform="incremental",
-    ),
-    "magma": dict(method="sbr", pipelined=False, back_transform="blocked"),
-    "cusolver": dict(method="direct"),
-    "plasma": dict(method="tile", pipelined=False),
-}
 
 
 @dataclass
@@ -76,25 +63,6 @@ class EVDResult:
         return float(
             np.linalg.norm(A @ V - V * self.eigenvalues) / max(np.linalg.norm(A), 1e-300)
         )
-
-
-def _solve_tridiagonal(
-    d: np.ndarray,
-    e: np.ndarray,
-    solver: str,
-    compute_vectors: bool,
-    ctx: ExecutionContext | None = None,
-    secular_mode: str = "batched",
-) -> tuple[np.ndarray, np.ndarray | None]:
-    if solver == "dc":
-        return dc_eigh(
-            d, e, compute_vectors=compute_vectors, ctx=ctx, secular_mode=secular_mode
-        )
-    if solver == "qr":
-        return tridiag_qr_eigh(d, e, compute_vectors=compute_vectors)
-    if solver == "bisect":
-        return eigh_bisect(d, e, compute_vectors=compute_vectors)
-    raise ValueError(f"unknown tridiagonal solver {solver!r}")
 
 
 def eigh_stacked(
@@ -193,37 +161,31 @@ def eigh(
         sub-stages ``"dc_leaf"``, ``"dc_deflate"``, ``"dc_secular"`` and
         ``"dc_gemm"`` nested inside the solver time.
     **tridiag_kwargs
-        Forwarded to :func:`repro.core.tridiag.tridiagonalize`
-        (``bandwidth``, ``second_block``, ``max_sweeps``, ...).
+        The pipeline knob surface (``bandwidth``, ``second_block``,
+        ``max_sweeps``, ``tuning``, ...) — parsed into a typed
+        :class:`repro.plan.EVDPlan` at this boundary, so an unknown or
+        misspelled knob raises :class:`repro.plan.PlanError` here,
+        naming the valid knobs, instead of a late ``TypeError`` deep
+        inside the pipeline.
 
     Returns
     -------
     EVDResult
     """
     ctx = resolve_context(backend)
-    if method == "dense":
-        A = np.asarray(A)
-        if A.ndim != 2 or A.shape[0] != A.shape[1]:
-            raise NonSquareError(f"expected a square matrix, got shape {A.shape}")
-        return eigh_stacked(A[None], compute_vectors=compute_vectors, backend=ctx)[0]
-    preset = _PRESETS.get(method)
-    if preset is not None:
-        kwargs = {**preset, **tridiag_kwargs}
-    else:
-        kwargs = {"method": method, **tridiag_kwargs}
-    with ctx.stage("tridiagonalize", method=method):
-        tri = tridiagonalize(A, backend=ctx, **kwargs)
-    with ctx.stage("tridiag_solver", solver=solver):
-        lam, U = _solve_tridiagonal(
-            tri.d, tri.e, solver, compute_vectors, ctx=ctx, secular_mode=secular_mode
-        )
-    V: np.ndarray | None = None
-    if compute_vectors:
-        assert U is not None
-        with ctx.stage("back_transform"):
-            V = np.array(U, copy=True)
-            tri.apply_q(V)
-    return EVDResult(eigenvalues=lam, eigenvectors=V, tridiag=tri, solver=solver)
+    A = np.asarray(A)
+    if A.ndim != 2 or A.shape[0] != A.shape[1]:
+        raise NonSquareError(f"expected a square matrix, got shape {A.shape}")
+    plan = plan_evd(
+        A.shape[0],
+        method,
+        compute_vectors=compute_vectors,
+        solver=solver,
+        secular_mode=secular_mode,
+        backend=ctx.backend.name,
+        **tridiag_kwargs,
+    )
+    return execute_plan(A, plan, ctx=ctx)
 
 
 def eigh_partial(
@@ -256,25 +218,12 @@ def eigh_partial(
     if not (0 <= lo <= hi < n):
         raise ValueError(f"indices {indices} out of range for n = {n}")
     ctx = resolve_context(backend)
-    preset = _PRESETS.get(method)
-    kwargs = {**preset, **tridiag_kwargs} if preset else {"method": method, **tridiag_kwargs}
-    with ctx.stage("tridiagonalize", method=method):
-        tri = tridiagonalize(A, backend=ctx, **kwargs)
-    idx = np.arange(lo, hi + 1)
-    lam = eigvals_bisect(tri.d, tri.e, indices=idx)
-    V: np.ndarray | None = None
-    if compute_vectors:
-        m = idx.size
-        U = np.zeros((n, m))
-        scale = max(float(np.max(np.abs(lam))), 1.0)
-        cluster: list[np.ndarray] = []
-        for j in range(m):
-            against = cluster if (j > 0 and lam[j] - lam[j - 1] <= 1e-3 * scale) else None
-            if against is None:
-                cluster = []
-            v = inverse_iteration(tri.d, tri.e, float(lam[j]), against=against)
-            U[:, j] = v
-            cluster.append(v)
-        V = U
-        tri.apply_q(V)
-    return EVDResult(eigenvalues=lam, eigenvectors=V, tridiag=tri, solver="bisect")
+    plan = plan_evd(
+        n,
+        method,
+        compute_vectors=compute_vectors,
+        solver="bisect",
+        backend=ctx.backend.name,
+        **tridiag_kwargs,
+    )
+    return execute_plan_partial(A, plan, (lo, hi), ctx=ctx)

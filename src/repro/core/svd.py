@@ -29,7 +29,8 @@ import numpy as np
 
 from ..backend.base import ArrayBackend
 from ..backend.context import ExecutionContext, resolve_context
-from ..eig.dc import dc_eigh
+from ..plan.planner import make_solver_config
+from ..plan.runner import solve_tridiagonal_planned
 from .householder import make_householder
 
 __all__ = ["BidiagResult", "bidiagonalize", "golub_kahan_tridiagonal", "svd"]
@@ -160,9 +161,15 @@ def svd(
         Singular values descending; ``U``/``V`` are None without vectors.
     """
     A = np.asarray(A, dtype=np.float64)
+    if A.ndim != 2:
+        raise ValueError(f"svd expects a 2-D matrix, got shape {A.shape}")
     m, n = A.shape
     if m < n:
         raise ValueError("svd expects m >= n; pass A.T and swap U/V")
+    # The same validated SolverConfig + shared stage runner the EVD plan
+    # layer uses — a bad secular_mode fails here, at the entry point,
+    # with a PlanError naming the valid choices.
+    solver_cfg = make_solver_config("dc", compute_vectors, secular_mode)
     if n == 0:
         return np.zeros(0), None, None
     ctx = resolve_context(backend)
@@ -170,9 +177,7 @@ def svd(
         bd = bidiagonalize(A)
     dt, et = golub_kahan_tridiagonal(bd.d, bd.f)
     with ctx.stage("tridiag_solver", solver="dc"):
-        lam, W = dc_eigh(
-            dt, et, compute_vectors=compute_vectors, ctx=ctx, secular_mode=secular_mode
-        )
+        lam, W = solve_tridiagonal_planned(dt, et, solver_cfg, ctx=ctx)
     # Eigenvalues come in ±sigma pairs (ascending); the top n are +sigma.
     s = lam[2 * n - 1 : n - 1 : -1].copy()
     s[s < 0] = 0.0  # roundoff on zero singular values

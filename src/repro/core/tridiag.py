@@ -28,6 +28,13 @@ import numpy as np
 
 from ..backend.base import ArrayBackend
 from ..backend.context import ExecutionContext, resolve_context
+from ..plan.config import (
+    BackTransformConfig,
+    BulgeChaseConfig,
+    EVDPlan,
+    TridiagConfig,
+)
+from ..plan.planner import auto_params, plan_tridiag
 from .bc_pipeline import PipelineStats, bulge_chase_pipelined
 from .bc_wavefront import bulge_chase_wavefront
 from .blocks import BandReductionResult
@@ -38,23 +45,12 @@ from .direct_tridiag import DirectTridiagResult, direct_tridiagonalize
 from .sbr import sbr
 from .tile_sbr import TileBandReductionResult, tile_sbr
 
-__all__ = ["TridiagResult", "tridiagonalize", "auto_params"]
-
-
-def auto_params(n: int) -> tuple[int, int]:
-    """Reasonable ``(bandwidth, second_block)`` for an ``n x n`` problem.
-
-    The paper uses ``b = 32, k = 1024`` at H100 scale; at test scale we
-    shrink both while preserving ``b | k``, ``k <= n`` and ``b << n``.
-    """
-    b = max(2, min(32, n // 8))
-    groups = max(1, min(32, n // (4 * b)))
-    k = b * groups
-    if k > n:
-        # Tiny problems: keep k a multiple of b that fits in the matrix
-        # (k > n would make DBBR defer updates past the trailing edge).
-        k = max(b, (n // b) * b)
-    return b, k
+__all__ = [
+    "TridiagResult",
+    "tridiagonalize",
+    "tridiagonalize_planned",
+    "auto_params",
+]
 
 
 @dataclass
@@ -147,6 +143,8 @@ def tridiagonalize(
     back_transform: str = "incremental",
     back_transform_group: int | None = None,
     backend: str | ArrayBackend | ExecutionContext | None = None,
+    tuning: str = "manual",
+    device: str = "h100",
 ) -> TridiagResult:
     """Tridiagonalize symmetric ``A``.
 
@@ -190,24 +188,83 @@ def tridiagonalize(
         is bit-identical to the historical implementation.  Dtype
         coercion to float64 happens here, once — kernels below assert
         float64 instead of converting.
+    tuning : {"manual", "model"}
+        ``"model"`` lets the calibrated cost models pick ``bandwidth``/
+        ``second_block`` for ``device`` where the caller left them unset
+        (see :func:`repro.plan.plan_evd`).
+    device : str
+        Device preset consulted when ``tuning="model"``.
 
     Raises
     ------
+    PlanError
+        Unknown method or invalid knob value, at the entry point, naming
+        the valid choices (a ``ValueError`` subclass).
     ValueError / SymmetryError
         Non-square input, NaN/Inf entries, or asymmetry beyond roundoff
         (see :mod:`repro.core.validation`).
     """
-    from .validation import check_symmetric
+    from .validation import NonSquareError
 
     ctx = resolve_context(backend)
+    A = np.asarray(A)
+    if A.ndim != 2 or A.shape[0] != A.shape[1]:
+        raise NonSquareError(f"expected a square matrix, got shape {A.shape}")
+    tcfg, bcfg, btcfg = plan_tridiag(
+        A.shape[0],
+        method,
+        tuning=tuning,
+        device=device,
+        bandwidth=bandwidth,
+        second_block=second_block,
+        pipelined=pipelined,
+        bc_driver=bc_driver,
+        max_sweeps=max_sweeps,
+        syr2k_kind=syr2k_kind,
+        direct_block=direct_block,
+        back_transform=back_transform,
+        back_transform_group=back_transform_group,
+    )
+    return _run_tridiag(A, tcfg, bcfg, btcfg, ctx)
+
+
+def tridiagonalize_planned(
+    A: np.ndarray,
+    plan: EVDPlan,
+    ctx: ExecutionContext | None = None,
+) -> TridiagResult:
+    """Execute the tridiagonalization branch of a resolved plan.
+
+    The planned twin of :func:`tridiagonalize`: no knob parsing, no
+    ``auto_params`` — the plan already carries the resolved block sizes.
+    This is the driver :func:`repro.plan.execute_plan` runs.
+    """
+    if plan.tridiag is None:
+        raise ValueError("plan has no tridiagonalization stage (dense tier)")
+    return _run_tridiag(
+        A, plan.tridiag, plan.bulge_chase, plan.back_transform, resolve_context(ctx)
+    )
+
+
+def _run_tridiag(
+    A: np.ndarray,
+    tcfg: TridiagConfig,
+    bcfg: BulgeChaseConfig | None,
+    btcfg: BackTransformConfig | None,
+    ctx: ExecutionContext,
+) -> TridiagResult:
+    """Resolved-config execution body (identical arithmetic and stage
+    structure to the historical ``tridiagonalize``)."""
+    from .validation import check_symmetric
+
     # The single dtype-coercion point of the pipeline: check_symmetric
     # hands back a float64 host copy, everything below asserts float64.
     A = check_symmetric(A)
     n = A.shape[0]
 
-    if method == "direct":
+    if tcfg.method == "direct":
         with ctx.stage("tridiag_direct", n=n):
-            res = direct_tridiagonalize(A, block=direct_block)
+            res = direct_tridiagonalize(A, block=tcfg.direct_block or 32)
         return TridiagResult(
             d=res.d,
             e=res.e,
@@ -218,57 +275,51 @@ def tridiagonalize(
             ctx=ctx,
         )
 
-    b_auto, k_auto = auto_params(n)
-    b = int(bandwidth) if bandwidth is not None else b_auto
+    assert bcfg is not None and btcfg is not None
+    b = tcfg.bandwidth if tcfg.bandwidth is not None else auto_params(n)[0]
     b = max(1, min(b, max(n - 2, 1)))
 
     tile_res: TileBandReductionResult | None = None
-    with ctx.stage("band_reduction", n=n, method=method, bandwidth=b):
-        if method == "dbbr":
-            k = int(second_block) if second_block is not None else max(k_auto, b)
-            k = max(b, (k // b) * b)
-            band_res = dbbr(A, b, k, syr2k_kind=syr2k_kind, ctx=ctx)
-        elif method == "sbr":
+    with ctx.stage("band_reduction", n=n, method=tcfg.method, bandwidth=b):
+        if tcfg.method == "dbbr":
+            k = tcfg.second_block if tcfg.second_block is not None else b
+            band_res = dbbr(A, b, k, syr2k_kind=tcfg.syr2k_kind or "square", ctx=ctx)
+        elif tcfg.method == "sbr":
             band_res = sbr(A, b, ctx=ctx)
-        elif method == "tile":
+        elif tcfg.method == "tile":
             tile_res = tile_sbr(A, b, ctx=ctx)
             band_res = None
         else:
-            raise ValueError(f"unknown tridiagonalization method {method!r}")
+            raise ValueError(f"unknown tridiagonalization method {tcfg.method!r}")
 
     band_matrix = tile_res.band if tile_res is not None else band_res.band
     stats: PipelineStats | None = None
-    with ctx.stage("bulge_chasing", n=n, bandwidth=b, pipelined=pipelined):
-        if pipelined:
-            if bc_driver == "wavefront":
+    with ctx.stage("bulge_chasing", n=n, bandwidth=b, pipelined=bcfg.pipelined):
+        if bcfg.pipelined:
+            if bcfg.bc_driver == "wavefront":
                 bc_res, stats = bulge_chase_wavefront(
-                    band_matrix, b, max_sweeps=max_sweeps, ctx=ctx
+                    band_matrix, b, max_sweeps=bcfg.max_sweeps, ctx=ctx
                 )
-            elif bc_driver == "pipelined":
+            elif bcfg.bc_driver == "pipelined":
                 bc_res, stats = bulge_chase_pipelined(
-                    band_matrix, b, max_sweeps=max_sweeps, ctx=ctx
+                    band_matrix, b, max_sweeps=bcfg.max_sweeps, ctx=ctx
                 )
             else:
-                raise ValueError(f"unknown bc_driver {bc_driver!r}")
+                raise ValueError(f"unknown bc_driver {bcfg.bc_driver!r}")
         else:
             bc_res = bulge_chase(band_matrix, b, ctx=ctx)
 
-    group = (
-        int(back_transform_group)
-        if back_transform_group is not None
-        else (k if method == "dbbr" else 4 * b)
-    )
     return TridiagResult(
         d=bc_res.d,
         e=bc_res.e,
-        method=method,
+        method=tcfg.method,
         bandwidth=b,
         band_result=band_res,
         tile_result=tile_res,
         bc_result=bc_res,
         pipeline_stats=stats,
-        back_transform_method=back_transform,
-        back_transform_group=group,
+        back_transform_method=btcfg.method,
+        back_transform_group=btcfg.group,
         backend=ctx.backend.name,
         ctx=ctx,
     )

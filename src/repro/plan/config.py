@@ -1,0 +1,235 @@
+"""The frozen, validated EVD plan tree.
+
+An :class:`EVDPlan` is the single source of truth for *how* a symmetric
+eigenproblem will be executed: which tridiagonalization method with
+which resolved block sizes (:class:`TridiagConfig`), how the band is
+chased to tridiagonal (:class:`BulgeChaseConfig`), which tridiagonal
+eigensolver runs (:class:`SolverConfig`), how eigenvectors are
+back-transformed (:class:`BackTransformConfig`), and on which array
+backend.  Plans are produced by :func:`repro.plan.plan_evd` — never
+hand-assembled — so every field is already validated and every ``None``
+default already resolved to a concrete integer for the plan's ``n``.
+
+Because the tree is frozen and *normalized* (knobs that cannot affect
+the computation are cleared — e.g. ``bc_driver`` when the chase is not
+pipelined, or the whole band/bulge/back-transform branch for the dense
+tier), two requests that would execute identically serialize to the
+same :meth:`EVDPlan.cache_token`, which is what lets the serving layer
+coalesce ``method="proposed"`` with its fully-expanded kwarg spelling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any
+
+__all__ = [
+    "TridiagConfig",
+    "BulgeChaseConfig",
+    "SolverConfig",
+    "BackTransformConfig",
+    "EVDPlan",
+]
+
+
+@dataclass(frozen=True)
+class TridiagConfig:
+    """Stage 1: how ``A`` is reduced to (band, then) tridiagonal form.
+
+    ``bandwidth``/``second_block`` hold the *resolved* ``b``/``k`` (the
+    planner has already run ``auto_params`` and the ``b | k`` clamping),
+    so reading a plan tells you exactly what will execute.  Fields that
+    do not apply to the method are ``None`` (``second_block`` outside
+    DBBR, ``direct_block`` outside the one-stage path, ...).
+    """
+
+    method: str  # "dbbr" | "sbr" | "tile" | "direct"
+    bandwidth: int | None = None
+    second_block: int | None = None
+    syr2k_kind: str | None = None
+    direct_block: int | None = None
+
+
+@dataclass(frozen=True)
+class BulgeChaseConfig:
+    """Stage 2: band -> tridiagonal chase (two-stage methods only).
+
+    ``bc_driver``/``max_sweeps`` are meaningful only when ``pipelined``
+    and are normalized to ``None`` otherwise.
+    """
+
+    pipelined: bool = True
+    bc_driver: str | None = None  # "wavefront" | "pipelined"
+    max_sweeps: int | None = None
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Stage 3: the tridiagonal eigensolver (or the dense tier).
+
+    ``secular_mode`` applies only to the divide-and-conquer solver and
+    is ``None`` for every other kind.
+    """
+
+    kind: str  # "dc" | "qr" | "bisect" | "dense"
+    compute_vectors: bool = True
+    secular_mode: str | None = None  # "batched" | "scalar" (dc only)
+
+
+@dataclass(frozen=True)
+class BackTransformConfig:
+    """Stage 4: the SBR back transformation used by ``apply_q``.
+
+    ``group`` is the resolved group width of the incremental merge
+    (Figure 13) — the planner defaults it to the DBBR ``second_block``
+    exactly as :func:`repro.core.tridiagonalize` always has.
+    """
+
+    method: str = "incremental"  # "incremental" | "blocked" | "recursive"
+    group: int = 128
+
+
+@dataclass(frozen=True)
+class EVDPlan:
+    """A fully-resolved, validated execution plan for one eigenproblem.
+
+    ``method`` keeps the user-facing spelling (a preset name like
+    ``"proposed"`` or a raw method like ``"dbbr"``) for display; the
+    semantics live entirely in the four config branches, which is why
+    :meth:`cache_token` ignores ``method`` — equivalent spellings
+    produce equal tokens.  ``tridiag``/``bulge_chase``/``back_transform``
+    are ``None`` where the pipeline has no such stage (all three for the
+    dense tier; the latter two for the one-stage direct method).
+    """
+
+    n: int
+    method: str
+    backend: str
+    solver: SolverConfig
+    tridiag: TridiagConfig | None = None
+    bulge_chase: BulgeChaseConfig | None = None
+    back_transform: BackTransformConfig | None = None
+    tuning: str = "manual"  # "manual" | "model"
+
+    @property
+    def is_dense(self) -> bool:
+        """True for the dense LAPACK tier (no tridiagonal pipeline)."""
+        return self.tridiag is None
+
+    # -- canonical serialization --------------------------------------
+    def cache_token(self) -> str:
+        """Canonical string identity of the *computation* this plan runs.
+
+        Two plans share a token iff they execute identically: the token
+        is built from the resolved config branches (and ``n``/backend),
+        not from the preset spelling or the tuning mode that produced
+        them.  The serving layer keys its result cache and single-flight
+        coalescing on ``matrix_fingerprint(A) + cache_token()``.
+        """
+        parts = [f"n={self.n}", f"backend={self.backend}"]
+        t = self.tridiag
+        if t is None:
+            parts.append("tridiag=dense")
+        else:
+            parts.append(
+                "tridiag="
+                f"{t.method},b={t.bandwidth},k={t.second_block},"
+                f"syr2k={t.syr2k_kind},direct_block={t.direct_block}"
+            )
+        bc = self.bulge_chase
+        if bc is not None:
+            parts.append(
+                f"bc=pipelined={bc.pipelined},driver={bc.bc_driver},"
+                f"max_sweeps={bc.max_sweeps}"
+            )
+        s = self.solver
+        parts.append(
+            f"solver={s.kind},vectors={s.compute_vectors},secular={s.secular_mode}"
+        )
+        bt = self.back_transform
+        if bt is not None:
+            parts.append(f"bt={bt.method},group={bt.group}")
+        return ";".join(parts)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-stable nested dict (golden-snapshot format)."""
+        return {
+            "n": self.n,
+            "method": self.method,
+            "backend": self.backend,
+            "tuning": self.tuning,
+            "tridiag": None if self.tridiag is None else asdict(self.tridiag),
+            "bulge_chase": (
+                None if self.bulge_chase is None else asdict(self.bulge_chase)
+            ),
+            "solver": asdict(self.solver),
+            "back_transform": (
+                None if self.back_transform is None else asdict(self.back_transform)
+            ),
+            "cache_token": self.cache_token(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "EVDPlan":
+        """Inverse of :meth:`to_dict` (``cache_token`` is recomputed)."""
+        return cls(
+            n=int(data["n"]),
+            method=str(data["method"]),
+            backend=str(data["backend"]),
+            tuning=str(data.get("tuning", "manual")),
+            tridiag=(
+                None
+                if data["tridiag"] is None
+                else TridiagConfig(**data["tridiag"])
+            ),
+            bulge_chase=(
+                None
+                if data["bulge_chase"] is None
+                else BulgeChaseConfig(**data["bulge_chase"])
+            ),
+            solver=SolverConfig(**data["solver"]),
+            back_transform=(
+                None
+                if data["back_transform"] is None
+                else BackTransformConfig(**data["back_transform"])
+            ),
+        )
+
+    # -- display -------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable resolved-plan tree (``repro plan`` output)."""
+        lines = [
+            f"EVDPlan  n={self.n}  method={self.method!r}  "
+            f"backend={self.backend}  tuning={self.tuning}"
+        ]
+        t = self.tridiag
+        if t is None:
+            lines.append("  tridiag:        none (dense LAPACK tier)")
+        elif t.method == "direct":
+            lines.append(
+                f"  tridiag:        direct one-stage (block={t.direct_block})"
+            )
+        else:
+            extra = ""
+            if t.method == "dbbr":
+                extra = f", k={t.second_block}, syr2k={t.syr2k_kind}"
+            lines.append(f"  tridiag:        {t.method} (b={t.bandwidth}{extra})")
+        bc = self.bulge_chase
+        if bc is not None:
+            if bc.pipelined:
+                cap = "unbounded" if bc.max_sweeps is None else str(bc.max_sweeps)
+                lines.append(
+                    f"  bulge chase:    pipelined/{bc.bc_driver} (max_sweeps={cap})"
+                )
+            else:
+                lines.append("  bulge chase:    sequential")
+        s = self.solver
+        sec = f", secular={s.secular_mode}" if s.secular_mode is not None else ""
+        lines.append(
+            f"  solver:         {s.kind} (vectors={s.compute_vectors}{sec})"
+        )
+        bt = self.back_transform
+        if bt is not None:
+            lines.append(f"  back transform: {bt.method} (group={bt.group})")
+        lines.append(f"  cache token:    {self.cache_token()}")
+        return "\n".join(lines)

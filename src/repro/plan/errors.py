@@ -1,0 +1,26 @@
+"""Typed validation errors for the plan layer.
+
+Every rejection the planner produces is a :class:`PlanError` — a
+``ValueError`` subclass (so code that caught the pipeline's historical
+``ValueError``/``TypeError`` mix keeps working) whose message always
+names the offending knob *and* the valid choices.  The serving layer
+relies on the type to fail misconfigured submissions fast, at
+``submit()`` time, instead of deep inside a worker thread.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+__all__ = ["PlanError"]
+
+
+class PlanError(ValueError):
+    """A pipeline-plan knob is unknown, has an invalid value, or the
+    requested combination cannot be executed."""
+
+
+def bad_choice(knob: str, value: object, choices: Iterable[str]) -> PlanError:
+    """A uniform "got X, expected one of ..." error for string knobs."""
+    listed = ", ".join(repr(c) for c in choices)
+    return PlanError(f"unknown {knob} {value!r}: valid choices are {listed}")

@@ -1,0 +1,325 @@
+"""``plan_evd`` — the one place pipeline configuration is resolved.
+
+Historically every entry point re-plumbed its own kwargs subset:
+``eigh`` merged stringly-typed preset dicts into ``**tridiag_kwargs``,
+``tridiagonalize`` validated its twelve knobs one ``if`` at a time (and
+only once execution reached them), and the serving layer canonicalized
+raw dicts for cache keys.  The planner replaces all of that: presets are
+expanded, ``auto_params`` runs, every knob is validated with a typed
+:class:`~repro.plan.PlanError` naming the valid choices, knobs that
+cannot affect the requested computation are normalized away, and the
+result is a frozen :class:`~repro.plan.EVDPlan` that
+:func:`repro.plan.execute_plan` runs verbatim.
+
+``tuning="model"`` additionally consults the calibrated analytical
+models (:mod:`repro.models` / :mod:`repro.gpusim`) to choose the DBBR
+``(b, k)`` pair minimizing the predicted band-reduction + bulge-chasing
+time on a named device, instead of the scale-based ``auto_params``
+heuristic.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .config import (
+    BackTransformConfig,
+    BulgeChaseConfig,
+    EVDPlan,
+    SolverConfig,
+    TridiagConfig,
+)
+from .errors import PlanError, bad_choice
+
+__all__ = ["plan_evd", "plan_tridiag", "auto_params", "make_solver_config"]
+
+#: Preset name -> expanded pipeline knobs (the paper's four comparisons).
+PRESETS: dict[str, dict[str, Any]] = {
+    "proposed": dict(
+        method="dbbr",
+        pipelined=True,
+        bc_driver="wavefront",
+        back_transform="incremental",
+    ),
+    "magma": dict(method="sbr", pipelined=False, back_transform="blocked"),
+    "cusolver": dict(method="direct"),
+    "plasma": dict(method="tile", pipelined=False),
+}
+
+TRIDIAG_METHODS = ("dbbr", "sbr", "tile", "direct")
+EVD_METHODS = tuple(PRESETS) + TRIDIAG_METHODS + ("dense",)
+SOLVERS = ("dc", "qr", "bisect")
+SECULAR_MODES = ("batched", "scalar")
+BC_DRIVERS = ("wavefront", "pipelined")
+BACK_TRANSFORMS = ("incremental", "blocked", "recursive")
+SYR2K_KINDS = ("square", "rect", "reference")
+TUNINGS = ("manual", "model")
+
+#: Every pipeline knob ``plan_evd``/``eigh`` accept beyond the named
+#: parameters (the historical ``**tridiag_kwargs`` surface).
+PIPELINE_KNOBS = (
+    "bandwidth",
+    "second_block",
+    "pipelined",
+    "bc_driver",
+    "max_sweeps",
+    "syr2k_kind",
+    "direct_block",
+    "back_transform",
+    "back_transform_group",
+)
+
+
+def auto_params(n: int) -> tuple[int, int]:
+    """Reasonable ``(bandwidth, second_block)`` for an ``n x n`` problem.
+
+    The paper uses ``b = 32, k = 1024`` at H100 scale; at test scale we
+    shrink both while preserving ``b | k``, ``k <= n`` and ``b << n``.
+    """
+    b = max(2, min(32, n // 8))
+    groups = max(1, min(32, n // (4 * b)))
+    k = b * groups
+    if k > n:
+        # Tiny problems: keep k a multiple of b that fits in the matrix
+        # (k > n would make DBBR defer updates past the trailing edge).
+        k = max(b, (n // b) * b)
+    return b, k
+
+
+def _as_int(knob: str, value: Any, minimum: int = 1) -> int:
+    try:
+        out = int(value)
+    except (TypeError, ValueError) as exc:
+        raise PlanError(f"{knob} must be an integer, got {value!r}") from exc
+    if out < minimum:
+        raise PlanError(f"{knob} must be >= {minimum}, got {out}")
+    return out
+
+
+def _check_unknown(knobs: dict[str, Any]) -> None:
+    unknown = sorted(set(knobs) - set(PIPELINE_KNOBS))
+    if unknown:
+        raise PlanError(
+            f"unknown pipeline knob(s) {', '.join(repr(k) for k in unknown)}: "
+            f"valid knobs are {', '.join(PIPELINE_KNOBS)}"
+        )
+
+
+def make_solver_config(
+    solver: str,
+    compute_vectors: bool,
+    secular_mode: str | None = "batched",
+) -> SolverConfig:
+    """Validated :class:`SolverConfig` (``secular_mode`` kept only where
+    it matters — the divide-and-conquer solver)."""
+    if solver not in SOLVERS + ("dense",):
+        raise bad_choice("tridiagonal solver", solver, SOLVERS)
+    if solver == "dc":
+        if secular_mode not in SECULAR_MODES:
+            raise bad_choice("secular_mode", secular_mode, SECULAR_MODES)
+    else:
+        secular_mode = None
+    return SolverConfig(
+        kind=solver, compute_vectors=bool(compute_vectors), secular_mode=secular_mode
+    )
+
+
+def _resolve_pipeline(
+    n: int,
+    method: str,
+    knobs: dict[str, Any],
+    tuning: str,
+    device: str,
+) -> tuple[TridiagConfig, BulgeChaseConfig | None, BackTransformConfig | None]:
+    """Resolve + validate the tridiag/bulge/back-transform branch for a
+    raw method name, reproducing ``tridiagonalize``'s historical clamps
+    bit-for-bit (``auto_params``, ``b | k``, group defaulting)."""
+    if method == "direct":
+        # One-stage path: every band/bulge/back-transform knob is inert
+        # (tridiagonalize has always ignored them here) — normalize away.
+        block = _as_int("direct_block", knobs.get("direct_block", 32))
+        return TridiagConfig(method="direct", direct_block=block), None, None
+
+    bandwidth = knobs.get("bandwidth")
+    second_block = knobs.get("second_block")
+    if tuning == "model" and method == "dbbr":
+        mb, mk = _model_tuned_dbbr(n, device)
+        if bandwidth is None:
+            bandwidth = mb
+        if second_block is None and mk is not None:
+            second_block = mk
+
+    b_auto, k_auto = auto_params(n)
+    b = _as_int("bandwidth", bandwidth) if bandwidth is not None else b_auto
+    b = max(1, min(b, max(n - 2, 1)))
+
+    k: int | None = None
+    syr2k: str | None = None
+    if method == "dbbr":
+        syr2k = knobs.get("syr2k_kind", "square")
+        if syr2k not in SYR2K_KINDS:
+            raise bad_choice("syr2k_kind", syr2k, SYR2K_KINDS)
+        k = (
+            _as_int("second_block", second_block)
+            if second_block is not None
+            else max(k_auto, b)
+        )
+        k = max(b, (k // b) * b)
+    tridiag = TridiagConfig(method=method, bandwidth=b, second_block=k, syr2k_kind=syr2k)
+
+    pipelined = bool(knobs.get("pipelined", True))
+    driver: str | None = None
+    max_sweeps: int | None = None
+    if pipelined:
+        driver = knobs.get("bc_driver", "wavefront")
+        if driver not in BC_DRIVERS:
+            raise bad_choice("bc_driver", driver, BC_DRIVERS)
+        raw_sweeps = knobs.get("max_sweeps")
+        max_sweeps = (
+            _as_int("max_sweeps", raw_sweeps) if raw_sweeps is not None else None
+        )
+    bulge = BulgeChaseConfig(pipelined=pipelined, bc_driver=driver, max_sweeps=max_sweeps)
+
+    bt_method = knobs.get("back_transform", "incremental")
+    if bt_method not in BACK_TRANSFORMS:
+        raise bad_choice("back_transform", bt_method, BACK_TRANSFORMS)
+    raw_group = knobs.get("back_transform_group")
+    if raw_group is not None:
+        group = _as_int("back_transform_group", raw_group)
+    else:
+        group = k if method == "dbbr" else 4 * b
+    assert group is not None
+    back = BackTransformConfig(method=bt_method, group=group)
+    return tridiag, bulge, back
+
+
+def _model_tuned_dbbr(n: int, device: str) -> tuple[int | None, int | None]:
+    """Pick the DBBR ``(b, k)`` minimizing the calibrated model's
+    band-reduction + bulge-chasing time on ``device``.
+
+    Candidates keep the paper's constraints (``b | k``, ``k <= n``); ties
+    break toward the smaller ``(b, k)`` so the choice is deterministic.
+    Problems too small for any candidate fall back to ``auto_params``.
+    """
+    from ..gpusim.device import device_by_name
+    from ..models.proposed import dbbr_time, gpu_bc_time
+
+    dev = device_by_name(device)
+    best: tuple[float, int, int] | None = None
+    for b in (8, 16, 32, 64):
+        if b > max(n - 2, 1):
+            continue
+        t_bc = gpu_bc_time(dev, n, b)
+        for mult in (4, 8, 16, 32, 64):
+            k = b * mult
+            if k > n:
+                continue
+            t = dbbr_time(dev, n, b, k) + t_bc
+            if best is None or t < best[0]:
+                best = (t, b, k)
+    if best is None:
+        return None, None
+    return best[1], best[2]
+
+
+def plan_tridiag(
+    n: int,
+    method: str = "dbbr",
+    *,
+    tuning: str = "manual",
+    device: str = "h100",
+    **knobs: Any,
+) -> tuple[TridiagConfig, BulgeChaseConfig | None, BackTransformConfig | None]:
+    """Resolve the tridiagonalization branch for ``tridiagonalize``.
+
+    Accepts the raw method names (``"dbbr"``/``"sbr"``/``"tile"``/
+    ``"direct"``) plus the historical knob surface; raises
+    :class:`PlanError` on anything unknown.
+    """
+    if method not in TRIDIAG_METHODS:
+        raise bad_choice("tridiagonalization method", method, TRIDIAG_METHODS)
+    if tuning not in TUNINGS:
+        raise bad_choice("tuning", tuning, TUNINGS)
+    _check_unknown(knobs)
+    return _resolve_pipeline(n, method, knobs, tuning, device)
+
+
+def plan_evd(
+    n: int,
+    method: str = "proposed",
+    *,
+    compute_vectors: bool = True,
+    solver: str = "dc",
+    secular_mode: str = "batched",
+    backend: str = "numpy",
+    tuning: str = "manual",
+    device: str = "h100",
+    **knobs: Any,
+) -> EVDPlan:
+    """Resolve a full EVD execution plan for an ``n x n`` problem.
+
+    Parameters mirror :func:`repro.eigh`: ``method`` is a preset
+    (``"proposed"``/``"magma"``/``"cusolver"``/``"plasma"``/``"dense"``)
+    or a raw tridiagonalization method, ``**knobs`` is the historical
+    ``**tridiag_kwargs`` surface (``bandwidth``, ``second_block``,
+    ``pipelined``, ``bc_driver``, ``max_sweeps``, ``syr2k_kind``,
+    ``direct_block``, ``back_transform``, ``back_transform_group``).
+    ``tuning="model"`` lets the calibrated cost models pick the DBBR
+    ``(b, k)`` for ``device`` where the caller left them unset.
+
+    Raises
+    ------
+    PlanError
+        Unknown method/solver/knob name, or an invalid knob value — at
+        planning time, naming the valid choices, instead of a
+        ``TypeError`` deep inside the pipeline.
+    """
+    try:
+        n = int(n)
+    except (TypeError, ValueError) as exc:
+        raise PlanError(f"n must be an integer, got {n!r}") from exc
+    if n < 0:
+        raise PlanError(f"n must be >= 0, got {n}")
+    if not isinstance(backend, str):
+        raise PlanError(
+            f"plan backend must be a backend name string, got {type(backend).__name__}"
+        )
+    if tuning not in TUNINGS:
+        raise bad_choice("tuning", tuning, TUNINGS)
+    if method not in EVD_METHODS:
+        raise bad_choice("method", method, EVD_METHODS)
+    _check_unknown(knobs)
+
+    if method == "dense":
+        # The dense tier bypasses the pipeline entirely: every pipeline
+        # knob and the solver choice are inert (eigh has always ignored
+        # them here) — normalize so equivalent requests coalesce.
+        return EVDPlan(
+            n=n,
+            method="dense",
+            backend=backend,
+            solver=SolverConfig(
+                kind="dense", compute_vectors=bool(compute_vectors), secular_mode=None
+            ),
+            tuning=tuning,
+        )
+
+    preset = PRESETS.get(method)
+    if preset is not None:
+        merged = {**preset, **knobs}
+        raw_method = str(merged.pop("method"))
+    else:
+        merged = dict(knobs)
+        raw_method = method
+    solver_cfg = make_solver_config(solver, compute_vectors, secular_mode)
+    tridiag, bulge, back = _resolve_pipeline(n, raw_method, merged, tuning, device)
+    return EVDPlan(
+        n=n,
+        method=method,
+        backend=backend,
+        solver=solver_cfg,
+        tridiag=tridiag,
+        bulge_chase=bulge,
+        back_transform=back,
+        tuning=tuning,
+    )

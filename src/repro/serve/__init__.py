@@ -19,7 +19,7 @@ Quickstart::
 """
 
 from .batcher import BatchPolicy, RequestQueue
-from .cache import ResultCache, make_cache_key
+from .cache import ResultCache, make_cache_key, plan_cache_key
 from .loadgen import WorkloadSpec, make_workload, run_loadgen
 from .metrics import ServiceMetrics
 from .service import (
@@ -43,5 +43,6 @@ __all__ = [
     "WorkloadSpec",
     "make_cache_key",
     "make_workload",
+    "plan_cache_key",
     "run_loadgen",
 ]

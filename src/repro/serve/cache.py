@@ -3,10 +3,13 @@
 Serving traffic repeats itself: the same covariance matrix, the same
 graph Laplacian, the same test problem arrives again and again.  Because
 the whole pipeline is deterministic, a solve is a pure function of
-``(matrix bytes, solver params, backend)`` — so results can be replayed
+``(matrix bytes, resolved plan)`` — so results can be replayed
 bit-identically from a cache keyed by
-:func:`repro.core.validation.matrix_fingerprint` plus the canonicalized
-parameter set.
+:func:`repro.core.validation.matrix_fingerprint` plus the plan's
+canonical :meth:`~repro.plan.EVDPlan.cache_token` (:func:`plan_cache_key`).
+Keying on the *resolved* plan rather than the raw submitted kwargs means
+equivalent spellings — ``method="proposed"`` and its fully-expanded DBBR
+kwargs — share one entry and coalesce in flight.
 
 Replay is *bit-identical* by construction: the cache stores the exact
 :class:`~repro.core.evd.EVDResult` the first computation produced, with
@@ -29,8 +32,9 @@ from typing import Any
 import numpy as np
 
 from ..core.validation import matrix_fingerprint
+from ..plan.config import EVDPlan
 
-__all__ = ["ResultCache", "make_cache_key", "canonical_params"]
+__all__ = ["ResultCache", "make_cache_key", "canonical_params", "plan_cache_key"]
 
 _SCALARS = (str, int, float, bool, type(None))
 
@@ -50,11 +54,26 @@ def canonical_params(params: dict[str, Any]) -> str | None:
 
 def make_cache_key(A: np.ndarray, params: dict[str, Any], backend: str) -> str | None:
     """Cache key for ``eigh(A, **params)`` on ``backend``; ``None`` when
-    the request is not cacheable (non-scalar params)."""
+    the request is not cacheable (non-scalar params).
+
+    Kept for raw-kwargs callers; :class:`~repro.serve.SolverService` now
+    keys on :func:`plan_cache_key`, which canonicalizes equivalent
+    spellings instead of hashing them verbatim.
+    """
     canon = canonical_params(params)
     if canon is None:
         return None
     return f"{matrix_fingerprint(A)}|{backend}|{canon}"
+
+
+def plan_cache_key(A: np.ndarray, plan: EVDPlan | None) -> str | None:
+    """Cache key for ``execute_plan(A, plan)``: matrix fingerprint plus
+    the plan's canonical token.  ``None`` (uncacheable) when the request
+    could not be planned — a non-square input, or options pinning a live
+    backend/context object whose identity a string key cannot capture."""
+    if plan is None:
+        return None
+    return f"{matrix_fingerprint(A)}|{plan.cache_token()}"
 
 
 def _freeze(result) -> None:

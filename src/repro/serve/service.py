@@ -24,7 +24,11 @@ a request-serving engine:
   (:mod:`repro.serve.cache`) for bit-identical replay of repeated
   matrices, and identical in-flight requests are *coalesced*
   (single-flight): a duplicate submitted while its twin is queued or
-  executing attaches to the twin's future instead of recomputing;
+  executing attaches to the twin's future instead of recomputing.  Both
+  the cache key and the coalescing identity derive from the resolved
+  plan's :meth:`~repro.plan.EVDPlan.cache_token`, so equivalent
+  spellings — ``method="proposed"`` vs its fully-expanded DBBR kwargs —
+  share one entry;
 * a failing request (non-finite input, bad shape, ...) fails only its
   own future — the workers and every other request keep going.
 
@@ -50,8 +54,11 @@ from ..backend.context import ExecutionContext
 from ..core.evd import eigh as core_eigh
 from ..core.evd import eigh_stacked
 from ..core.validation import check_symmetric
+from ..plan.config import EVDPlan
+from ..plan.planner import plan_evd
+from ..plan.runner import execute_plan
 from .batcher import BatchPolicy, QueueClosed, QueueFull, QueueTimeout, RequestQueue
-from .cache import ResultCache, canonical_params, make_cache_key
+from .cache import ResultCache, plan_cache_key
 from .metrics import ServiceMetrics
 
 __all__ = [
@@ -136,7 +143,14 @@ class ServiceConfig:
 
 @dataclass
 class _Request:
-    """One queued solve: input, options, bookkeeping, and its future."""
+    """One queued solve: input, options, resolved plan, and its future.
+
+    ``plan`` is the fully-resolved :class:`~repro.plan.EVDPlan` the solve
+    executes through (``None`` when the request is unplannable — a
+    non-square input destined to fail its future, or options pinning a
+    live backend object).  The cache key and batch signature both derive
+    from ``plan.cache_token()``, so equivalent spellings of the same
+    pipeline share one cache entry and coalesce in flight."""
 
     seq: int
     priority: int
@@ -144,6 +158,7 @@ class _Request:
     effective_opts: dict[str, Any]
     n: int | None
     cache_key: str | None
+    plan: EVDPlan | None = None
     future: Future = field(default_factory=Future)
     t_submit: float = 0.0
     t_enqueue: float = 0.0
@@ -196,7 +211,10 @@ class SolverService:
         read-only.
 
         Raises :class:`ServiceClosed` / :class:`ServiceOverloaded` /
-        :class:`SubmitTimeout` per the configured backpressure policy.
+        :class:`SubmitTimeout` per the configured backpressure policy,
+        and :class:`~repro.plan.PlanError` for invalid solver options
+        (unknown knobs, bad choices) — option validation is fail-fast at
+        the submit boundary, exactly like a direct ``eigh`` call.
         Invalid *matrices* never raise here — they fail their own future
         at execution time.
         """
@@ -215,7 +233,8 @@ class SolverService:
             and "backend" not in effective
         ):
             effective["method"] = "dense"
-        cache_key = make_cache_key(A, effective, self.config.backend)
+        plan = self._plan_for(n, effective)
+        cache_key = plan_cache_key(A, plan)
         req = _Request(
             seq=next(self._seq),
             priority=int(priority),
@@ -223,6 +242,7 @@ class SolverService:
             effective_opts=effective,
             n=n,
             cache_key=cache_key,
+            plan=plan,
             t_submit=time.monotonic(),
         )
         cached = self.cache.get(cache_key)
@@ -280,6 +300,25 @@ class SolverService:
         """Submit a sequence of matrices with shared options."""
         return [self.submit(A, priority=priority, **solver_opts) for A in matrices]
 
+    def _plan_for(
+        self, n: int | None, effective: dict[str, Any]
+    ) -> EVDPlan | None:
+        """Resolve the request's effective options into an
+        :class:`~repro.plan.EVDPlan` — the canonical identity used for
+        caching, coalescing and batching, and the object the worker
+        executes.  Returns ``None`` (unplannable; fall back to a raw
+        ``eigh`` call that fails the future) for non-square inputs or a
+        pinned non-string backend object, whose identity a plan cannot
+        capture.  Invalid option values raise
+        :class:`~repro.plan.PlanError` out of ``submit``."""
+        if n is None:
+            return None
+        backend = effective.get("backend", self.config.backend)
+        if not isinstance(backend, str):
+            return None
+        opts = {k: v for k, v in effective.items() if k != "backend"}
+        return plan_evd(n, backend=backend, **opts)
+
     def _inflight_pop(self, key: str, fut: Future) -> None:
         with self._inflight_lock:
             if self._inflight.get(key) is fut:
@@ -308,8 +347,8 @@ class SolverService:
     # -- worker side ---------------------------------------------------
     @staticmethod
     def _signature(req: _Request):
-        """Batch-compatibility key: same ``n`` + same canonical options,
-        for requests that gain from stacking — the dense tier.
+        """Batch-compatibility key: same ``n`` + same canonical plan
+        token, for requests that gain from stacking — the dense tier.
 
         Everything else returns ``None`` (unbatchable): pipeline
         requests "fall through per item" by popping singly, which keeps
@@ -317,16 +356,11 @@ class SolverService:
         sequential ``O(n^3)`` solves to one worker while the others
         starve — batching only pays where the arithmetic itself stacks).
         """
-        if req.n is None:
-            return None
-        if req.effective_opts.get("method") != "dense":
+        if req.plan is None or not req.plan.is_dense:
             return None
         if "backend" in req.effective_opts:
             return None
-        canon = canonical_params(req.effective_opts)
-        if canon is None:
-            return None
-        return (req.n, canon)
+        return (req.n, req.plan.cache_token())
 
     def _worker_loop(self) -> None:
         # Each worker constructs its context *in its own thread*: the
@@ -366,7 +400,8 @@ class SolverService:
         if not live:
             return
         if (
-            live[0].effective_opts.get("method") == "dense"
+            live[0].plan is not None
+            and live[0].plan.is_dense
             and "backend" not in live[0].effective_opts
         ):
             self._execute_dense_stacked(ctx, live)
@@ -379,13 +414,18 @@ class SolverService:
             self.metrics.cancelled.inc()
             return
         try:
-            opts = req.effective_opts
-            if "backend" in opts:
+            if req.plan is None:
+                # Unplannable (non-square input or a live backend object
+                # pinned in the options): replay the raw call so the
+                # failure / backend identity semantics match direct eigh.
+                result = core_eigh(req.A, **req.effective_opts)
+            elif "backend" in req.effective_opts:
                 # The request pinned its own substrate; the worker
-                # context (and its workspace amortization) steps aside.
-                result = core_eigh(req.A, **opts)
+                # context (and its workspace amortization) steps aside —
+                # the runner resolves a fresh context from plan.backend.
+                result = execute_plan(req.A, req.plan, ctx=None)
             else:
-                result = core_eigh(req.A, backend=ctx, **opts)
+                result = execute_plan(req.A, req.plan, ctx=ctx)
         except Exception as exc:
             self.metrics.failed.inc()
             req.future.set_exception(exc)
@@ -418,9 +458,7 @@ class SolverService:
                 req.future.set_exception(exc)
         if not started:
             return
-        compute_vectors = bool(
-            started[0].effective_opts.get("compute_vectors", True)
-        )
+        compute_vectors = started[0].plan.solver.compute_vectors
         try:
             results = eigh_stacked(
                 np.stack(clean), compute_vectors=compute_vectors, backend=ctx

@@ -1,0 +1,69 @@
+"""The ``repro plan`` subcommand: resolve-and-print, --explain, --json."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["plan"])
+        assert args.n == 1024 and args.method == "proposed"
+        assert args.tuning == "manual" and args.device == "h100"
+        assert not args.explain and not args.json
+
+    def test_invalid_tuning_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan", "--tuning", "oracle"])
+
+
+class TestPlanCommand:
+    def test_describe(self, capsys):
+        assert main(["plan", "--n", "4096", "--method", "proposed"]) == 0
+        out = capsys.readouterr().out
+        assert "EVDPlan" in out
+        assert "dbbr" in out
+        assert "cache token" in out
+
+    def test_explain_adds_model_breakdown(self, capsys):
+        assert main(["plan", "--n", "4096", "--method", "proposed",
+                     "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "predicted stage breakdown" in out
+        assert "dbbr" in out and "total" in out
+        assert "ms" in out and "%" in out
+
+    @pytest.mark.parametrize("method", ["magma", "cusolver", "plasma", "dense"])
+    def test_explain_every_preset(self, capsys, method):
+        assert main(["plan", "--n", "2048", "--method", method,
+                     "--explain"]) == 0
+        assert "EVDPlan" in capsys.readouterr().out
+
+    def test_json_output_is_a_plan_dict(self, capsys):
+        assert main(["plan", "--n", "512", "--method", "cusolver",
+                     "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["n"] == 512
+        assert data["tridiag"]["method"] == "direct"
+        assert "cache_token" in data
+
+    def test_model_tuning(self, capsys):
+        assert main(["plan", "--n", "4096", "--tuning", "model",
+                     "--device", "rtx4090"]) == 0
+        out = capsys.readouterr().out
+        assert "tuning=model" in out
+
+    def test_knobs_flow_through(self, capsys):
+        assert main(["plan", "--n", "256", "--method", "proposed",
+                     "--bandwidth", "8", "--second-block", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "b=8" in out and "k=32" in out
+
+    def test_plan_error_exits_2(self, capsys):
+        assert main(["plan", "--method", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "plan error" in err and "valid choices" in err

@@ -1,0 +1,249 @@
+"""Planner validation + normalization: the typed knob surface.
+
+Satellite regression (PR 7): a misspelled pipeline knob used to surface
+as a ``TypeError`` deep inside ``tridiagonalize``; it must now be a
+:class:`repro.plan.PlanError` raised at the ``eigh``/``plan_evd``
+boundary, naming the valid knobs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.plan import (
+    PIPELINE_KNOBS,
+    EVDPlan,
+    PlanError,
+    auto_params,
+    plan_evd,
+    plan_tridiag,
+)
+
+
+def goe(n: int, seed: int = 0) -> np.ndarray:
+    g = np.random.default_rng(seed).standard_normal((n, n))
+    return (g + g.T) / 2.0
+
+
+class TestUnknownKnobs:
+    def test_eigh_rejects_misspelled_knob_at_entry(self):
+        """The satellite regression: ``bandwith`` (sic) must fail fast
+        with a PlanError listing every valid knob — not a TypeError from
+        somewhere inside the pipeline."""
+        with pytest.raises(PlanError) as exc_info:
+            repro.eigh(goe(8), bandwith=4)
+        msg = str(exc_info.value)
+        assert "bandwith" in msg
+        for knob in PIPELINE_KNOBS:
+            assert knob in msg
+
+    def test_plan_error_is_a_value_error(self):
+        # Callers catching ValueError (the historical contract) keep working.
+        assert issubclass(PlanError, ValueError)
+        with pytest.raises(ValueError):
+            plan_evd(8, bogus_knob=1)
+
+    def test_multiple_unknown_knobs_all_named(self):
+        with pytest.raises(PlanError, match="knob_a.*knob_b"):
+            plan_evd(8, knob_a=1, knob_b=2)
+
+    def test_plan_tridiag_rejects_unknown_knob(self):
+        with pytest.raises(PlanError, match="unknown pipeline knob"):
+            plan_tridiag(8, "dbbr", second_blck=4)
+
+    def test_eigh_partial_rejects_unknown_knob(self):
+        with pytest.raises(PlanError, match="unknown pipeline knob"):
+            repro.eigh_partial(goe(8), (0, 2), max_sweps=3)
+
+
+class TestChoiceValidation:
+    def test_unknown_method_names_choices(self):
+        with pytest.raises(PlanError, match="'proposed'.*'dense'"):
+            plan_evd(8, method="lapack")
+
+    def test_unknown_solver(self):
+        with pytest.raises(PlanError, match="'dc', 'qr', 'bisect'"):
+            plan_evd(8, solver="jacobi")
+
+    def test_bad_secular_mode(self):
+        with pytest.raises(PlanError, match="'batched', 'scalar'"):
+            plan_evd(8, secular_mode="vectorized")
+
+    def test_bad_bc_driver(self):
+        with pytest.raises(PlanError, match="'wavefront', 'pipelined'"):
+            plan_evd(8, method="dbbr", bc_driver="serial")
+
+    def test_bad_syr2k_kind(self):
+        with pytest.raises(PlanError, match="'square', 'rect', 'reference'"):
+            plan_evd(8, method="dbbr", syr2k_kind="triangular")
+
+    def test_bad_back_transform(self):
+        with pytest.raises(PlanError, match="'incremental', 'blocked', 'recursive'"):
+            plan_evd(8, method="dbbr", back_transform="fused")
+
+    def test_non_integer_bandwidth(self):
+        with pytest.raises(PlanError, match="bandwidth must be an integer"):
+            plan_evd(8, method="dbbr", bandwidth="wide")
+
+    def test_bandwidth_minimum(self):
+        with pytest.raises(PlanError, match="bandwidth must be >= 1"):
+            plan_evd(8, method="dbbr", bandwidth=0)
+
+    def test_bad_n(self):
+        with pytest.raises(PlanError, match="n must be"):
+            plan_evd("many")
+        with pytest.raises(PlanError, match="n must be"):
+            plan_evd(-1)
+
+    def test_bad_tuning(self):
+        with pytest.raises(PlanError, match="'manual', 'model'"):
+            plan_evd(8, tuning="oracle")
+
+    def test_non_string_backend(self):
+        with pytest.raises(PlanError, match="backend name string"):
+            plan_evd(8, backend=object())
+
+
+class TestResolution:
+    def test_resolved_fields_match_auto_params(self):
+        b, k = auto_params(200)
+        plan = plan_evd(200, "proposed")
+        assert plan.tridiag.bandwidth == b
+        assert plan.tridiag.second_block == max(b, (max(k, b) // b) * b)
+        assert plan.bulge_chase.pipelined is True
+        assert plan.bulge_chase.bc_driver == "wavefront"
+        assert plan.back_transform.method == "incremental"
+        assert plan.back_transform.group == plan.tridiag.second_block
+
+    def test_bandwidth_clamped_to_matrix(self):
+        # Historical clamp: b <= max(n - 2, 1).
+        plan = plan_evd(10, "dbbr", bandwidth=64)
+        assert plan.tridiag.bandwidth == 8
+
+    def test_second_block_rounded_to_bandwidth_multiple(self):
+        plan = plan_evd(100, "dbbr", bandwidth=8, second_block=30)
+        assert plan.tridiag.second_block == 24  # (30 // 8) * 8
+
+    def test_direct_method_has_no_band_stages(self):
+        plan = plan_evd(64, "cusolver")
+        assert plan.tridiag.method == "direct"
+        assert plan.tridiag.direct_block == 32
+        assert plan.bulge_chase is None
+        assert plan.back_transform is None
+
+    def test_dense_plan_has_no_pipeline(self):
+        plan = plan_evd(64, "dense", solver="qr")
+        assert plan.is_dense
+        assert plan.tridiag is None
+        assert plan.solver.kind == "dense"
+
+    def test_model_tuning_resolves_concrete_blocks(self):
+        plan = plan_evd(4096, "proposed", tuning="model", device="h100")
+        assert plan.tuning == "model"
+        b, k = plan.tridiag.bandwidth, plan.tridiag.second_block
+        assert b in (8, 16, 32, 64)
+        assert k % b == 0 and k <= 4096
+
+    def test_model_tuning_respects_explicit_knobs(self):
+        plan = plan_evd(4096, "proposed", tuning="model", bandwidth=32,
+                        second_block=1024)
+        assert plan.tridiag.bandwidth == 32
+        assert plan.tridiag.second_block == 1024
+
+
+class TestCacheToken:
+    def test_preset_and_expanded_spelling_share_token(self):
+        """The coalescing property the serving layer relies on."""
+        n = 96
+        p = plan_evd(n, "proposed")
+        expanded = plan_evd(
+            n,
+            "dbbr",
+            bandwidth=p.tridiag.bandwidth,
+            second_block=p.tridiag.second_block,
+            pipelined=True,
+            bc_driver="wavefront",
+            back_transform="incremental",
+            back_transform_group=p.back_transform.group,
+        )
+        assert p.cache_token() == expanded.cache_token()
+
+    def test_magma_spelling_coalesces(self):
+        n = 96
+        p = plan_evd(n, "magma")
+        expanded = plan_evd(
+            n,
+            "sbr",
+            bandwidth=p.tridiag.bandwidth,
+            pipelined=False,
+            back_transform="blocked",
+            back_transform_group=p.back_transform.group,
+        )
+        assert p.cache_token() == expanded.cache_token()
+
+    def test_irrelevant_knobs_normalized_away(self):
+        # Direct path: band knobs are inert and must not split the token.
+        assert (
+            plan_evd(64, "cusolver", bandwidth=8).cache_token()
+            == plan_evd(64, "cusolver").cache_token()
+        )
+        # Non-pipelined chase: bc_driver is inert.
+        assert (
+            plan_evd(64, "sbr", pipelined=False, bc_driver="pipelined").cache_token()
+            == plan_evd(64, "sbr", pipelined=False).cache_token()
+        )
+        # Non-dc solver: secular_mode is inert.
+        assert (
+            plan_evd(64, solver="qr", secular_mode="scalar").cache_token()
+            == plan_evd(64, solver="qr", secular_mode="batched").cache_token()
+        )
+        # Dense tier: the solver choice itself is inert.
+        assert (
+            plan_evd(64, "dense", solver="qr").cache_token()
+            == plan_evd(64, "dense", solver="dc").cache_token()
+        )
+
+    def test_distinct_computations_get_distinct_tokens(self):
+        base = plan_evd(64, "proposed").cache_token()
+        assert plan_evd(65, "proposed").cache_token() != base
+        assert plan_evd(64, "magma").cache_token() != base
+        assert plan_evd(64, "proposed", solver="qr").cache_token() != base
+        assert plan_evd(64, "proposed", compute_vectors=False).cache_token() != base
+        assert plan_evd(64, "proposed", backend="torch").cache_token() != base
+        assert plan_evd(64, "proposed", bandwidth=4).cache_token() != base
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("method", ["proposed", "magma", "cusolver",
+                                        "plasma", "dense"])
+    def test_dict_round_trip(self, method):
+        plan = plan_evd(128, method)
+        data = plan.to_dict()
+        back = EVDPlan.from_dict(data)
+        assert back == plan
+        assert back.cache_token() == data["cache_token"]
+
+    def test_describe_mentions_every_stage(self):
+        text = plan_evd(256, "proposed").describe()
+        assert "dbbr" in text
+        assert "bulge chase" in text
+        assert "back transform" in text
+        assert "cache token" in text
+
+
+class TestPlanTridiag:
+    def test_raw_methods_only(self):
+        with pytest.raises(PlanError, match="'dbbr', 'sbr', 'tile', 'direct'"):
+            plan_tridiag(64, "proposed")
+
+    def test_matches_evd_branch(self):
+        tcfg, bcfg, btcfg = plan_tridiag(200, "dbbr")
+        plan = plan_evd(200, "dbbr")
+        assert tcfg == plan.tridiag
+        assert bcfg == plan.bulge_chase
+        assert btcfg == plan.back_transform
+
+    def test_core_reexports_auto_params(self):
+        assert repro.core.auto_params is auto_params

@@ -19,6 +19,15 @@ PUBLIC_API = {
         "dc_eigh", "tridiag_qr_eigh", "eigh_bisect",
         "SolverService", "ServiceConfig",
         "EVDResult", "TridiagResult", "__version__",
+        "EVDPlan", "PlanError", "plan_evd", "execute_plan", "explain_plan",
+    ],
+    "repro.plan": [
+        "EVDPlan", "TridiagConfig", "BulgeChaseConfig", "SolverConfig",
+        "BackTransformConfig", "PlanError",
+        "plan_evd", "plan_tridiag", "auto_params", "make_solver_config",
+        "execute_plan", "execute_plan_partial", "solve_tridiagonal_planned",
+        "explain_plan", "predicted_stage_times",
+        "PRESETS", "PIPELINE_KNOBS",
     ],
     "repro.core": [
         "make_householder", "WYAccumulator", "accumulate_wy", "merge_wy",
@@ -71,7 +80,7 @@ PUBLIC_API = {
     ],
     "repro.serve": [
         "SolverService", "ServiceConfig", "ServiceMetrics", "ResultCache",
-        "RequestQueue", "BatchPolicy", "make_cache_key",
+        "RequestQueue", "BatchPolicy", "make_cache_key", "plan_cache_key",
         "ServiceClosed", "ServiceOverloaded", "SubmitTimeout",
         "WorkloadSpec", "make_workload", "run_loadgen",
     ],
@@ -88,7 +97,7 @@ def test_documented_names_exist(module_name):
 @pytest.mark.parametrize(
     "module_name",
     ["repro", "repro.core", "repro.eig", "repro.band", "repro.gpusim",
-     "repro.models", "repro.bench", "repro.serve"],
+     "repro.models", "repro.bench", "repro.serve", "repro.plan"],
 )
 def test_all_lists_are_importable(module_name):
     mod = importlib.import_module(module_name)
