@@ -33,12 +33,19 @@ Public API highlights
     future-based submission, adaptive micro-batching (stacked dense tier
     for small ``n``), a content-addressed result cache, backpressure and
     metrics (``svc.submit(A).result()``).
+``repro.resilience``
+    Numerical-health verification (``verify_evd``/``verify_tridiag``),
+    the typed :class:`~repro.resilience.ReproError` hierarchy, solver
+    fallback chains (``eigh(A, fallback="chain")`` escalates a failed
+    or unverifiable pipeline to the dense path), circuit breakers, and
+    the deterministic seeded fault-injection harness behind the chaos
+    suite (``REPRO_FAULTS`` / ``repro evd --faults``).
 ``repro.gpusim`` / ``repro.models``
     The calibrated GPU performance simulator and the analytical models
     that regenerate the paper's tables and figures at device scale.
 """
 
-from . import backend, band, core, eig, plan, serve
+from . import backend, band, core, eig, plan, resilience, serve
 from .backend import (
     ArrayBackend,
     BackendUnavailable,
@@ -61,6 +68,14 @@ from .core import (
 )
 from .eig import dc_eigh, eigh_bisect, tridiag_qr_eigh
 from .plan import EVDPlan, PlanError, execute_plan, explain_plan, plan_evd
+from .resilience import (
+    ConvergenceError,
+    ReproError,
+    VerificationError,
+    execute_plan_with_fallback,
+    verify_evd,
+    verify_tridiag,
+)
 from .serve import ServiceConfig, SolverService
 
 __version__ = "1.0.0"
@@ -68,11 +83,14 @@ __version__ = "1.0.0"
 __all__ = [
     "ArrayBackend",
     "BackendUnavailable",
+    "ConvergenceError",
     "EVDPlan",
     "EVDResult",
     "ExecutionContext",
     "PlanError",
+    "ReproError",
     "TridiagResult",
+    "VerificationError",
     "available_backends",
     "backend",
     "band",
@@ -88,12 +106,16 @@ __all__ = [
     "eigh_partial",
     "eigh_stacked",
     "execute_plan",
+    "execute_plan_with_fallback",
     "explain_plan",
     "matrix_fingerprint",
     "plan",
     "plan_evd",
+    "resilience",
     "sbr",
     "serve",
+    "verify_evd",
+    "verify_tridiag",
     "ServiceConfig",
     "SolverService",
     "tridiag_qr_eigh",

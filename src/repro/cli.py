@@ -3,6 +3,11 @@
 Commands
 --------
 ``evd``          run a full symmetric EVD on a random matrix and verify it
+                 (``--save`` writes the result + matrix to a ``.npz``,
+                 ``--faults`` injects deterministic faults, ``--fallback
+                 chain`` escalates failures down the fallback chain)
+``verify``       re-verify a saved ``.npz`` EVD result against its source
+                 matrix (residual + orthogonality, exit 1 on failure)
 ``plan``         resolve an EVD plan and print it (``--explain`` adds the
                  model-predicted per-stage time breakdown)
 ``tridiag``      run just the tridiagonalization (any of the 4 methods)
@@ -16,6 +21,8 @@ Examples
 ::
 
     python -m repro evd --n 400 --method proposed
+    python -m repro evd --n 400 --save result.npz && python -m repro verify result.npz
+    python -m repro evd --n 200 --faults "dc.merge:convergence" --fallback chain
     python -m repro plan --n 4096 --method proposed --explain
     python -m repro tridiag --n 300 --method dbbr --bandwidth 8 --second-block 32
     python -m repro figure fig15
@@ -52,6 +59,30 @@ def build_parser() -> argparse.ArgumentParser:
     evd.add_argument("--backend", default="numpy",
                      choices=["numpy", "cupy", "torch", "auto"],
                      help="array backend for the hot-path kernels")
+    evd.add_argument("--fallback", default="none", choices=["none", "chain"],
+                     help="'chain' escalates a failed or unverifiable solve "
+                          "down the fallback chain (dense, then QR iteration)")
+    evd.add_argument("--save", metavar="PATH", default=None,
+                     help="write the result and source matrix to a .npz "
+                          "archive readable by 'repro verify'")
+    evd.add_argument("--faults", metavar="SPECS", default=None,
+                     help="inject deterministic faults: "
+                          "'site:kind[:times[:probability[:seed]]][;...]' "
+                          "(see repro.resilience; overrides REPRO_FAULTS)")
+
+    ver = sub.add_parser(
+        "verify",
+        help="re-verify a saved .npz EVD result against its source matrix",
+    )
+    ver.add_argument("result", help=".npz archive written by 'repro evd --save' "
+                                    "or repro.core.save_evd")
+    ver.add_argument("--matrix", metavar="PATH", default=None,
+                     help="source matrix (.npy/.npz with 'source_matrix' or "
+                          "'A') when the archive does not embed one")
+    ver.add_argument("--tol-residual", type=float, default=None,
+                     help="relative residual tolerance (default: 200*n*eps)")
+    ver.add_argument("--tol-orth", type=float, default=None,
+                     help="orthogonality tolerance (default: 200*n*eps)")
 
     pl = sub.add_parser(
         "plan",
@@ -131,17 +162,28 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_evd(args) -> int:
     import repro
+    from repro.resilience import clear_faults, install_faults, parse_fault_specs
 
+    if args.faults:
+        install_faults(parse_fault_specs(args.faults))
     rng = np.random.default_rng(args.seed)
     A = rng.standard_normal((args.n, args.n))
     A = (A + A.T) / 2.0
     t0 = time.perf_counter()
-    res = repro.eigh(A, method=args.method, solver=args.solver,
-                     compute_vectors=not args.no_vectors,
-                     backend=args.backend)
+    try:
+        res = repro.eigh(A, method=args.method, solver=args.solver,
+                         compute_vectors=not args.no_vectors,
+                         backend=args.backend, fallback=args.fallback)
+    except repro.ReproError as exc:
+        print(f"EVD failed: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if args.faults:
+            clear_faults()
     dt = time.perf_counter() - t0
+    tri_backend = res.tridiag.backend if res.tridiag is not None else args.backend
     print(f"EVD ({args.method}/{args.solver}) of {args.n} x {args.n} "
-          f"in {dt:.2f} s  [backend: {res.tridiag.backend}]")
+          f"in {dt:.2f} s  [backend: {tri_backend}]")
     print(f"  eigenvalue range: [{res.eigenvalues[0]:.6g}, "
           f"{res.eigenvalues[-1]:.6g}]")
     err = np.max(np.abs(res.eigenvalues - np.linalg.eigvalsh(A)))
@@ -151,7 +193,51 @@ def _cmd_evd(args) -> int:
         n = args.n
         orth = np.linalg.norm(res.eigenvectors.T @ res.eigenvectors - np.eye(n))
         print(f"  orthogonality: {orth:.2e}")
+    if args.save:
+        from repro.core import save_evd
+
+        save_evd(args.save, res, A=A)
+        print(f"wrote {args.save}")
     return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.core import load_evd
+    from repro.resilience import verify_evd
+
+    result, A = load_evd(args.result)
+    if args.matrix is not None:
+        loaded = np.load(args.matrix, allow_pickle=False)
+        if isinstance(loaded, np.ndarray):
+            A = loaded
+        else:
+            with loaded as z:
+                for key in ("source_matrix", "A"):
+                    if key in z:
+                        A = z[key]
+                        break
+                else:
+                    print(f"{args.matrix}: no 'source_matrix' or 'A' array",
+                          file=sys.stderr)
+                    return 2
+    if A is None:
+        print(f"{args.result} embeds no source matrix; pass --matrix",
+              file=sys.stderr)
+        return 2
+    report = verify_evd(A, result, tol_residual=args.tol_residual,
+                        tol_orth=args.tol_orth)
+    print(f"verify {args.result}: n={report.n}  "
+          f"{'OK' if report.ok else 'FAILED'}")
+    if report.residual is not None:
+        print(f"  residual ||AV - VL||/||A||: {report.residual:.3e} "
+              f"(tol {report.tol_residual:.3e})")
+    if report.orth_error is not None:
+        print(f"  orthogonality ||V'V - I||:  {report.orth_error:.3e} "
+              f"(tol {report.tol_orth:.3e})")
+    print(f"  trace error: {report.trace_error:.3e}")
+    for name, ok in sorted(report.checks.items()):
+        print(f"  check {name}: {'pass' if ok else 'FAIL'}")
+    return 0 if report.ok else 1
 
 
 def _cmd_plan(args) -> int:
@@ -318,6 +404,7 @@ def _cmd_devices(args) -> int:
 
 _COMMANDS = {
     "evd": _cmd_evd,
+    "verify": _cmd_verify,
     "plan": _cmd_plan,
     "tridiag": _cmd_tridiag,
     "figure": _cmd_figure,
@@ -329,6 +416,13 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    # REPRO_FAULTS in the environment arms the deterministic fault
+    # harness for any command (an explicit `evd --faults` overrides it).
+    from repro.resilience import faults_from_env, install_faults
+
+    env_plan = faults_from_env()
+    if env_plan is not None and getattr(args, "faults", None) is None:
+        install_faults(env_plan)
     try:
         return _COMMANDS[args.command](args)
     except BrokenPipeError:  # e.g. `python -m repro figure fig15 | head`

@@ -57,7 +57,7 @@ from .householder import (
 )
 from .panel_qr import explicit_q, panel_qr, panel_qr_compact, panel_qr_wy
 from .sbr import sbr
-from .serialization import load_tridiag, save_tridiag
+from .serialization import load_evd, load_tridiag, save_evd, save_tridiag
 from .svd import BidiagResult, bidiagonalize, golub_kahan_tridiagonal, svd
 from .tile_sbr import TileBandReductionResult, TileReflector, tile_sbr, tile_task_dag
 from .syr2k import (
@@ -140,6 +140,7 @@ __all__ = [
     "SymmetryError",
     "golub_kahan_tridiagonal",
     "larft",
+    "load_evd",
     "load_tridiag",
     "make_householder",
     "merge_blocks_grouped",
@@ -152,6 +153,7 @@ __all__ = [
     "pipeline_schedule",
     "q_from_blocks",
     "rect_schedule",
+    "save_evd",
     "save_tridiag",
     "sbr",
     "solve_triangular_lower",

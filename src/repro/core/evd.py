@@ -130,6 +130,7 @@ def eigh(
     solver: str = "dc",
     backend: str | ArrayBackend | ExecutionContext | None = None,
     secular_mode: str = "batched",
+    fallback: str = "none",
     **tridiag_kwargs,
 ) -> EVDResult:
     """Full symmetric EVD of ``A``.
@@ -160,6 +161,12 @@ def eigh(
         ``"tridiag_solver"`` and ``"back_transform"``, with the D&C
         sub-stages ``"dc_leaf"``, ``"dc_deflate"``, ``"dc_secular"`` and
         ``"dc_gemm"`` nested inside the solver time.
+    fallback : {"none", "chain"}
+        ``"chain"`` executes through
+        :func:`repro.resilience.execute_plan_with_fallback`: the result
+        is verified (:func:`repro.resilience.verify_evd`) and on a typed
+        convergence or verification failure the dense LAPACK tier and
+        then the tridiagonal QR iteration are tried in order.
     **tridiag_kwargs
         The pipeline knob surface (``bandwidth``, ``second_block``,
         ``max_sweeps``, ``tuning``, ...) — parsed into a typed
@@ -183,8 +190,13 @@ def eigh(
         solver=solver,
         secular_mode=secular_mode,
         backend=ctx.backend.name,
+        fallback=fallback,
         **tridiag_kwargs,
     )
+    if plan.fallback == "chain":
+        from ..resilience.fallback import execute_plan_with_fallback
+
+        return execute_plan_with_fallback(A, plan, ctx=ctx).result
     return execute_plan(A, plan, ctx=ctx)
 
 

@@ -32,6 +32,14 @@ import numpy as np
 
 from ..backend.base import assert_f64
 
+# make_householder squares entries directly (no scale-safe dnrm2), so the
+# guard must fire while the *squares* are still full-precision normals:
+# ||x|| below sqrt(tiny)/eps puts alpha^2 + sigma in the denormal range.
+# The rescale factor itself is LAPACK dlarfg's 1/safmin.
+_RESCALE_BELOW = np.sqrt(np.finfo(np.float64).tiny) / np.finfo(np.float64).eps
+_SAFE_MIN = np.finfo(np.float64).tiny / np.finfo(np.float64).eps
+_INV_SAFE_MIN = 1.0 / _SAFE_MIN
+
 __all__ = [
     "make_householder",
     "batched_make_householder",
@@ -75,6 +83,26 @@ def make_householder(x: np.ndarray) -> tuple[np.ndarray, float, float]:
     if sigma == 0.0:
         return v, 0.0, alpha
     beta = -np.copysign(np.sqrt(alpha * alpha + sigma), alpha)
+    if abs(beta) < _RESCALE_BELOW:
+        # ||x|| is in the range where the squared terms above lose their
+        # precision to denormals.  LAPACK dlarfg's escape hatch: scale the
+        # vector up into the safe range, build the (scale-invariant)
+        # reflector there, and rescale only beta back down.
+        tail = x[1:].copy()
+        knt = 0
+        while abs(beta) < _RESCALE_BELOW and knt < 20:
+            tail *= _INV_SAFE_MIN
+            alpha *= _INV_SAFE_MIN
+            beta *= _INV_SAFE_MIN
+            knt += 1
+        sigma = float(np.dot(tail, tail))
+        beta = -np.copysign(np.sqrt(alpha * alpha + sigma), alpha)
+        v0 = alpha - beta
+        v[1:] = tail / v0
+        tau = (beta - alpha) / beta
+        for _ in range(knt):
+            beta *= _SAFE_MIN
+        return v, float(tau), float(beta)
     v0 = alpha - beta
     v[1:] = x[1:] / v0
     tau = (beta - alpha) / beta

@@ -22,9 +22,10 @@ from .direct_tridiag import DirectTridiagResult
 from .tile_sbr import TileBandReductionResult, TileReflector
 from .tridiag import TridiagResult
 
-__all__ = ["save_tridiag", "load_tridiag"]
+__all__ = ["save_tridiag", "load_tridiag", "save_evd", "load_evd"]
 
 _FORMAT_VERSION = 1
+_EVD_FORMAT_VERSION = 1
 
 
 def save_tridiag(path, result: TridiagResult) -> None:
@@ -92,6 +93,57 @@ def save_tridiag(path, result: TridiagResult) -> None:
             data["tile_W"] = np.concatenate([r.W.ravel() for r in refl])
             data["tile_Y"] = np.concatenate([r.Y.ravel() for r in refl])
     np.savez_compressed(pathlib.Path(path), **data)
+
+
+def save_evd(path, result, A: np.ndarray | None = None) -> None:
+    """Serialize an :class:`~repro.core.evd.EVDResult` to a compressed
+    ``.npz`` archive: eigenvalues, eigenvectors (when computed), the
+    solver tag, and — when given — the source matrix ``A`` so the file
+    is self-contained for ``repro verify``.
+
+    The tridiagonalization artifacts are intentionally *not* included
+    (use :func:`save_tridiag` for those); an EVD archive carries exactly
+    what re-verification needs.
+    """
+    data: dict[str, np.ndarray] = {
+        "evd_format_version": np.array(_EVD_FORMAT_VERSION),
+        "eigenvalues": np.asarray(result.eigenvalues),
+        "solver": np.array(result.solver),
+    }
+    if result.eigenvectors is not None:
+        data["eigenvectors"] = np.asarray(result.eigenvectors)
+    if A is not None:
+        data["source_matrix"] = np.asarray(A)
+    np.savez_compressed(pathlib.Path(path), **data)
+
+
+def load_evd(path):
+    """Load an archive written by :func:`save_evd`.
+
+    Returns ``(result, A)`` — the reconstructed
+    :class:`~repro.core.evd.EVDResult` (``tridiag`` is always ``None``)
+    and the stored source matrix, or ``None`` when the archive was saved
+    without one.
+    """
+    from .evd import EVDResult
+
+    with np.load(pathlib.Path(path), allow_pickle=False) as z:
+        if "evd_format_version" not in z:
+            raise ValueError(
+                f"{path}: not an EVD archive (missing 'evd_format_version'; "
+                "tridiagonalization archives load via load_tridiag)"
+            )
+        version = int(z["evd_format_version"])
+        if version != _EVD_FORMAT_VERSION:
+            raise ValueError(f"unsupported EVD format version {version}")
+        result = EVDResult(
+            eigenvalues=z["eigenvalues"].copy(),
+            eigenvectors=z["eigenvectors"].copy() if "eigenvectors" in z else None,
+            tridiag=None,
+            solver=str(z["solver"]),
+        )
+        A = z["source_matrix"].copy() if "source_matrix" in z else None
+    return result, A
 
 
 def _load_blocks(z) -> list[WYBlock]:

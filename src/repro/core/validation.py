@@ -7,10 +7,11 @@ symmetrize — but refuse quietly wrong inputs: non-finite entries, a
 non-square array, an empty matrix, or asymmetry large enough that "the
 symmetric eigenproblem of A" is not a well-posed request.
 
-Every rejection is a *typed* ``ValueError`` subclass so callers (and the
-serving layer, which must map a bad request to a failed future without
-tearing down the worker) can distinguish the failure modes without
-string-matching messages.
+Every rejection is a *typed* ``ValueError`` subclass (also rooted at
+:class:`~repro.resilience.ReproError`, the base of every deliberate
+failure in the stack) so callers (and the serving layer, which must map
+a bad request to a failed future without tearing down the worker) can
+distinguish the failure modes without string-matching messages.
 
 :func:`matrix_fingerprint` is the content-addressing primitive of the
 result cache in :mod:`repro.serve`: a stable hash over shape, dtype and
@@ -23,6 +24,8 @@ from __future__ import annotations
 import hashlib
 
 import numpy as np
+
+from ..resilience.errors import ReproError
 
 __all__ = [
     "check_symmetric",
@@ -38,20 +41,20 @@ __all__ = [
 DEFAULT_SYMMETRY_TOL = 1e-8
 
 
-class SymmetryError(ValueError):
+class SymmetryError(ReproError, ValueError):
     """The input is too far from symmetric to treat as a symmetric
     eigenproblem."""
 
 
-class NonSquareError(ValueError):
+class NonSquareError(ReproError, ValueError):
     """The input is not a 2-D square matrix."""
 
 
-class NonFiniteError(ValueError):
+class NonFiniteError(ReproError, ValueError):
     """The input contains NaN or Inf entries."""
 
 
-class EmptyMatrixError(ValueError):
+class EmptyMatrixError(ReproError, ValueError):
     """The input has zero rows/columns — there is no eigenproblem to
     solve (and the kernels' ``n >= 1`` assumptions would trip)."""
 

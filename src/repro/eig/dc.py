@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..backend.context import ExecutionContext, resolve_context
+from ..resilience.faults import maybe_raise
 from .qr_iteration import tridiag_qr_eigh
 from .secular import refine_z, secular_eigenvectors, solve_all_roots
 
@@ -144,6 +145,7 @@ def _rank_one_update(
     # batched mode, so back-to-back merges at one level allocate nothing.
     pool = ctx.workspace if (secular_mode == "batched" and ctx.is_numpy) else None
     with ctx.stage("dc_secular", n=int(nd.size), mode=secular_mode):
+        maybe_raise("dc.merge")
         roots = solve_all_roots(D[nd], z[nd], rho, mode=secular_mode, workspace=pool)
         lam_nd = roots.values
         zhat = refine_z(roots, z[nd], rho, mode=secular_mode, workspace=pool)

@@ -16,6 +16,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..resilience.errors import ConvergenceError
+from ..resilience.faults import maybe_raise
+
 __all__ = ["jacobi_eigh"]
 
 _EPS = np.finfo(np.float64).eps
@@ -51,7 +54,15 @@ def jacobi_eigh(
     -------
     (lam, V)
         Ascending eigenvalues and (optionally) orthonormal eigenvectors.
+
+    Raises
+    ------
+    ConvergenceError
+        Off-diagonal mass is still far above the threshold after
+        ``max_sweeps`` cyclic sweeps (site ``"jacobi.sweep"``; also a
+        :class:`numpy.linalg.LinAlgError`, the historical raise type).
     """
+    maybe_raise("jacobi.sweep")
     A = np.array(A, dtype=np.float64, copy=True)
     n = A.shape[0]
     if A.shape != (n, n):
@@ -93,7 +104,13 @@ def jacobi_eigh(
                     V[:, q] = s * vp + c * V[:, q]
     else:
         if _off_norm(A) > threshold * 1e3:  # pragma: no cover - safety net
-            raise np.linalg.LinAlgError("Jacobi failed to converge")
+            raise ConvergenceError(
+                f"Jacobi failed to converge within {max_sweeps} sweeps "
+                f"(off-diagonal norm {_off_norm(A):.3e} vs threshold "
+                f"{threshold:.3e})",
+                site="jacobi.sweep",
+                iterations=max_sweeps,
+            )
 
     lam = np.diagonal(A).copy()
     order = np.argsort(lam, kind="stable")

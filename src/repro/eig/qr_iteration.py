@@ -15,6 +15,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..resilience.errors import ConvergenceError
+from ..resilience.faults import maybe_raise
+
 __all__ = ["tridiag_qr_eigh"]
 
 _EPS = np.finfo(np.float64).eps
@@ -45,7 +48,15 @@ def tridiag_qr_eigh(
     (lam, U)
         Ascending eigenvalues; ``U`` has eigenvectors in columns
         (``None`` when ``compute_vectors`` is false).
+
+    Raises
+    ------
+    ConvergenceError
+        An eigenvalue needed more than ``max_sweeps`` QL sweeps (site
+        ``"qr.sweep"``; also a :class:`numpy.linalg.LinAlgError`, the
+        type this function historically raised).
     """
+    maybe_raise("qr.sweep")
     d = np.array(d, dtype=np.float64, copy=True)
     n = d.size
     e_work = np.zeros(n, dtype=np.float64)
@@ -66,8 +77,12 @@ def tridiag_qr_eigh(
                 break
             iters += 1
             if iters > max_sweeps:
-                raise np.linalg.LinAlgError(
-                    f"QL iteration failed to converge for eigenvalue {l}"
+                raise ConvergenceError(
+                    f"QL iteration failed to converge for eigenvalue {l} "
+                    f"within {max_sweeps} sweeps",
+                    site="qr.sweep",
+                    iterations=iters,
+                    indices=[l],
                 )
             # Wilkinson shift.
             g = (d[l + 1] - d[l]) / (2.0 * e_work[l])

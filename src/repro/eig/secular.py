@@ -51,6 +51,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..resilience.errors import ConvergenceError
+from ..resilience.faults import maybe_raise
+
 __all__ = [
     "SecularRoots",
     "solve_secular_root",
@@ -158,6 +161,12 @@ def solve_secular_root(
     machine precision of the offset.
 
     Returns ``(anchor, mu)`` with ``lam = d[anchor] + mu``.
+
+    Raises
+    ------
+    ConvergenceError
+        The iteration hit ``max_iter`` without reaching the backward-
+        error floor or a sub-ulp step (site ``"secular.newton"``).
     """
     N = d.size
     if not 0 <= i < N:
@@ -217,15 +226,25 @@ def solve_secular_root(
             mu = mu_new
             break
         mu = mu_new
+    else:
+        raise ConvergenceError(
+            f"secular Newton iteration for root {i} did not converge in "
+            f"{max_iter} iterations",
+            site="secular.newton",
+            iterations=max_iter,
+            indices=[i],
+        )
     return anchor, float(mu)
 
 
-def _solve_all_roots_scalar(d: np.ndarray, z2: np.ndarray, rho: float) -> SecularRoots:
+def _solve_all_roots_scalar(
+    d: np.ndarray, z2: np.ndarray, rho: float, max_iter: int = 256
+) -> SecularRoots:
     N = d.size
     anchors = np.zeros(N, dtype=np.int64)
     offsets = np.zeros(N, dtype=np.float64)
     for i in range(N):
-        a, mu = solve_secular_root(d, z2, rho, i)
+        a, mu = solve_secular_root(d, z2, rho, i, max_iter=max_iter)
         anchors[i] = a
         offsets[i] = mu
     return SecularRoots(d, anchors, offsets)
@@ -319,6 +338,18 @@ def _solve_all_roots_batched(
         hi[idx] = hi_a
         idx = idx[~(at_floor | tiny_step)]
 
+    if idx.size > 0:
+        # Stagnant brackets must fail loudly: exiting here with silently
+        # unconverged roots poisons every eigenvector built from them.
+        raise ConvergenceError(
+            f"secular Newton sweep left {idx.size} of {N} roots unconverged "
+            f"after {max_iter} iterations (root indices {idx[:8].tolist()}"
+            f"{'...' if idx.size > 8 else ''})",
+            site="secular.newton",
+            iterations=max_iter,
+            indices=idx,
+        )
+
     offsets[:] = mu
     return SecularRoots(d, anchors, offsets)
 
@@ -329,6 +360,7 @@ def solve_all_roots(
     rho: float,
     mode: str = "batched",
     workspace=None,
+    max_iter: int = 256,
 ) -> SecularRoots:
     """All ``N`` secular roots for ``D + rho z z^T`` (``rho > 0``,
     ``d`` strictly ascending, ``z`` fully non-deflated).
@@ -337,13 +369,21 @@ def solve_all_roots(
     vectorized sweeps; ``mode="scalar"`` is the original per-root loop,
     kept as a cross-check oracle.  ``workspace`` optionally pools the
     ``(N, N)`` scratch (batched mode only).
+
+    Raises
+    ------
+    ConvergenceError
+        Any root's bracket is still active after ``max_iter`` sweeps
+        (site ``"secular.newton"``, carrying the offending root
+        indices) — in either mode; stagnant roots never exit silently.
     """
     _check_mode(mode)
+    maybe_raise("secular.newton")
     d = np.asarray(d, dtype=np.float64)
     z2 = np.asarray(z, dtype=np.float64) ** 2
     if mode == "scalar":
-        return _solve_all_roots_scalar(d, z2, rho)
-    return _solve_all_roots_batched(d, z2, rho, workspace=workspace)
+        return _solve_all_roots_scalar(d, z2, rho, max_iter=max_iter)
+    return _solve_all_roots_batched(d, z2, rho, workspace=workspace, max_iter=max_iter)
 
 
 def _refine_z_scalar(roots: SecularRoots, z: np.ndarray, rho: float) -> np.ndarray:

@@ -100,6 +100,15 @@ class EVDPlan:
     produce equal tokens.  ``tridiag``/``bulge_chase``/``back_transform``
     are ``None`` where the pipeline has no such stage (all three for the
     dense tier; the latter two for the one-stage direct method).
+
+    ``fallback="chain"`` marks the plan for escalated execution through
+    :func:`repro.resilience.execute_plan_with_fallback` (proposed ->
+    dense -> QR iteration on convergence/verification failure).  The
+    field is *not* part of :meth:`cache_token`: a chain that succeeds on
+    its first link is bit-identical to running the plain plan, so the
+    two must share cache entries — escalated results are instead keyed
+    under the plan that actually produced them (see
+    :mod:`repro.serve.cache`).
     """
 
     n: int
@@ -110,6 +119,7 @@ class EVDPlan:
     bulge_chase: BulgeChaseConfig | None = None
     back_transform: BackTransformConfig | None = None
     tuning: str = "manual"  # "manual" | "model"
+    fallback: str = "none"  # "none" | "chain"
 
     @property
     def is_dense(self) -> bool:
@@ -158,6 +168,7 @@ class EVDPlan:
             "method": self.method,
             "backend": self.backend,
             "tuning": self.tuning,
+            "fallback": self.fallback,
             "tridiag": None if self.tridiag is None else asdict(self.tridiag),
             "bulge_chase": (
                 None if self.bulge_chase is None else asdict(self.bulge_chase)
@@ -177,6 +188,7 @@ class EVDPlan:
             method=str(data["method"]),
             backend=str(data["backend"]),
             tuning=str(data.get("tuning", "manual")),
+            fallback=str(data.get("fallback", "none")),
             tridiag=(
                 None
                 if data["tridiag"] is None
@@ -198,9 +210,10 @@ class EVDPlan:
     # -- display -------------------------------------------------------
     def describe(self) -> str:
         """Human-readable resolved-plan tree (``repro plan`` output)."""
+        fb = f"  fallback={self.fallback}" if self.fallback != "none" else ""
         lines = [
             f"EVDPlan  n={self.n}  method={self.method!r}  "
-            f"backend={self.backend}  tuning={self.tuning}"
+            f"backend={self.backend}  tuning={self.tuning}{fb}"
         ]
         t = self.tridiag
         if t is None:

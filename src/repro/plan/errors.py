@@ -2,20 +2,24 @@
 
 Every rejection the planner produces is a :class:`PlanError` — a
 ``ValueError`` subclass (so code that caught the pipeline's historical
-``ValueError``/``TypeError`` mix keeps working) whose message always
-names the offending knob *and* the valid choices.  The serving layer
-relies on the type to fail misconfigured submissions fast, at
-``submit()`` time, instead of deep inside a worker thread.
+``ValueError``/``TypeError`` mix keeps working), also rooted at
+:class:`~repro.resilience.ReproError` like every deliberate failure in
+the stack, whose message always names the offending knob *and* the
+valid choices.  The serving layer relies on the type to fail
+misconfigured submissions fast, at ``submit()`` time, instead of deep
+inside a worker thread.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable
 
+from ..resilience.errors import ReproError
+
 __all__ = ["PlanError"]
 
 
-class PlanError(ValueError):
+class PlanError(ReproError, ValueError):
     """A pipeline-plan knob is unknown, has an invalid value, or the
     requested combination cannot be executed."""
 

@@ -54,6 +54,7 @@ BC_DRIVERS = ("wavefront", "pipelined")
 BACK_TRANSFORMS = ("incremental", "blocked", "recursive")
 SYR2K_KINDS = ("square", "rect", "reference")
 TUNINGS = ("manual", "model")
+FALLBACKS = ("none", "chain")
 
 #: Every pipeline knob ``plan_evd``/``eigh`` accept beyond the named
 #: parameters (the historical ``**tridiag_kwargs`` surface).
@@ -254,6 +255,7 @@ def plan_evd(
     backend: str = "numpy",
     tuning: str = "manual",
     device: str = "h100",
+    fallback: str = "none",
     **knobs: Any,
 ) -> EVDPlan:
     """Resolve a full EVD execution plan for an ``n x n`` problem.
@@ -266,6 +268,10 @@ def plan_evd(
     ``direct_block``, ``back_transform``, ``back_transform_group``).
     ``tuning="model"`` lets the calibrated cost models pick the DBBR
     ``(b, k)`` for ``device`` where the caller left them unset.
+    ``fallback="chain"`` marks the plan for escalated execution
+    (:func:`repro.resilience.execute_plan_with_fallback`): on a typed
+    convergence or verification failure the dense LAPACK tier and then
+    the tridiagonal QR iteration are tried in order.
 
     Raises
     ------
@@ -286,6 +292,8 @@ def plan_evd(
         )
     if tuning not in TUNINGS:
         raise bad_choice("tuning", tuning, TUNINGS)
+    if fallback not in FALLBACKS:
+        raise bad_choice("fallback", fallback, FALLBACKS)
     if method not in EVD_METHODS:
         raise bad_choice("method", method, EVD_METHODS)
     _check_unknown(knobs)
@@ -302,6 +310,7 @@ def plan_evd(
                 kind="dense", compute_vectors=bool(compute_vectors), secular_mode=None
             ),
             tuning=tuning,
+            fallback=fallback,
         )
 
     preset = PRESETS.get(method)
@@ -322,4 +331,5 @@ def plan_evd(
         bulge_chase=bulge,
         back_transform=back,
         tuning=tuning,
+        fallback=fallback,
     )

@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 from ..backend.context import ExecutionContext, resolve_context
+from ..resilience.faults import maybe_corrupt
 from .config import EVDPlan, SolverConfig
 from .errors import PlanError, bad_choice
 
@@ -39,6 +40,22 @@ def _resolve_plan_context(
     plan: EVDPlan, ctx: ExecutionContext | Any | None
 ) -> ExecutionContext:
     return resolve_context(ctx if ctx is not None else plan.backend)
+
+
+def _maybe_corrupt_result(result: "EVDResult") -> "EVDResult":
+    """Fault-injection hook at site ``"runner.result"``: poison one entry
+    of the assembled payload (eigenvectors when present, else
+    eigenvalues).  A no-op returning ``result`` itself unless a ``nan``
+    fault is installed — the bit-exactness contract with faults off."""
+    if result.eigenvectors is not None:
+        V = maybe_corrupt("runner.result", result.eigenvectors)
+        if V is not result.eigenvectors:
+            result.eigenvectors = V
+    else:
+        lam = maybe_corrupt("runner.result", result.eigenvalues)
+        if lam is not result.eigenvalues:
+            result.eigenvalues = lam
+    return result
 
 
 def _check_plan_matches(A: np.ndarray, plan: EVDPlan) -> None:
@@ -106,9 +123,11 @@ def execute_plan(
         if A.ndim != 2 or A.shape[0] != A.shape[1]:
             raise NonSquareError(f"expected a square matrix, got shape {A.shape}")
         _check_plan_matches(A, plan)
-        return eigh_stacked(
-            A[None], compute_vectors=plan.solver.compute_vectors, backend=ctx
-        )[0]
+        return _maybe_corrupt_result(
+            eigh_stacked(
+                A[None], compute_vectors=plan.solver.compute_vectors, backend=ctx
+            )[0]
+        )
     A = np.asarray(A)
     _check_plan_matches(A, plan)
     with ctx.stage("tridiagonalize", method=plan.method):
@@ -121,8 +140,10 @@ def execute_plan(
         with ctx.stage("back_transform"):
             V = np.array(U, copy=True)
             tri.apply_q(V)
-    return EVDResult(
-        eigenvalues=lam, eigenvectors=V, tridiag=tri, solver=plan.solver.kind
+    return _maybe_corrupt_result(
+        EVDResult(
+            eigenvalues=lam, eigenvectors=V, tridiag=tri, solver=plan.solver.kind
+        )
     )
 
 

@@ -1,0 +1,166 @@
+"""Per-backend circuit breaker for the serving layer.
+
+When an accelerator backend starts failing (driver wedged, OOM loop,
+library regression), retrying every request against it turns one broken
+dependency into a full outage.  The classic fix is a circuit breaker:
+
+* **closed** — normal operation; consecutive backend faults are counted,
+  successes reset the count;
+* **open** — after ``failure_threshold`` consecutive faults the breaker
+  trips; callers are told to route around the backend (the service falls
+  back to the NumPy reference backend) for ``reset_timeout_s``;
+* **half-open** — after the timeout one probe request is allowed
+  through; success closes the breaker, failure re-opens it for another
+  full timeout.
+
+The clock is injectable (``clock=`` callable returning seconds) so state
+transitions are unit-testable without sleeping.  All methods are
+thread-safe — the serving workers share one breaker per backend name.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["CircuitBreaker", "BreakerRegistry"]
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probing."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        name: str,
+        failure_threshold: int = 3,
+        reset_timeout_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if reset_timeout_s < 0:
+            raise ValueError(f"reset_timeout_s must be >= 0, got {reset_timeout_s}")
+        self.name = name
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout_s = float(reset_timeout_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        # Lifetime counters for stats().
+        self._faults = 0
+        self._trips = 0
+        self._rejections = 0
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._effective_state()
+
+    def _effective_state(self) -> str:
+        # Caller holds the lock.  OPEN decays to HALF_OPEN once the
+        # reset timeout has elapsed.
+        if self._state == self.OPEN and (
+            self._clock() - self._opened_at >= self.reset_timeout_s
+        ):
+            self._state = self.HALF_OPEN
+            self._probe_inflight = False
+        return self._state
+
+    def allow(self) -> bool:
+        """May the caller use this backend right now?
+
+        CLOSED: yes.  OPEN: no (counted as a rejection).  HALF_OPEN:
+        yes for exactly one in-flight probe at a time.
+        """
+        with self._lock:
+            state = self._effective_state()
+            if state == self.CLOSED:
+                return True
+            if state == self.HALF_OPEN and not self._probe_inflight:
+                self._probe_inflight = True
+                return True
+            self._rejections += 1
+            return False
+
+    # -- outcome reporting --------------------------------------------
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_inflight = False
+            self._state = self.CLOSED
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._faults += 1
+            state = self._effective_state()
+            if state == self.HALF_OPEN:
+                # The probe failed: back to a full open window.
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self._probe_inflight = False
+                self._trips += 1
+                return
+            self._consecutive_failures += 1
+            if (
+                state == self.CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self._trips += 1
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "name": self.name,
+                "state": self._effective_state(),
+                "consecutive_failures": self._consecutive_failures,
+                "faults": self._faults,
+                "trips": self._trips,
+                "rejections": self._rejections,
+            }
+
+
+class BreakerRegistry:
+    """Lazily-created :class:`CircuitBreaker` per backend name, sharing
+    one configuration — what :class:`~repro.serve.SolverService` holds."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout_s = float(reset_timeout_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def get(self, backend: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(backend)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    backend,
+                    failure_threshold=self.failure_threshold,
+                    reset_timeout_s=self.reset_timeout_s,
+                    clock=self._clock,
+                )
+                self._breakers[backend] = breaker
+            return breaker
+
+    def stats(self) -> dict[str, dict]:
+        with self._lock:
+            return {name: b.stats() for name, b in self._breakers.items()}

@@ -19,7 +19,7 @@ Quickstart::
 """
 
 from .batcher import BatchPolicy, RequestQueue
-from .cache import ResultCache, make_cache_key, plan_cache_key
+from .cache import CacheEntry, ResultCache, make_cache_key, plan_cache_key
 from .loadgen import WorkloadSpec, make_workload, run_loadgen
 from .metrics import ServiceMetrics
 from .service import (
@@ -32,6 +32,7 @@ from .service import (
 
 __all__ = [
     "BatchPolicy",
+    "CacheEntry",
     "RequestQueue",
     "ResultCache",
     "ServiceClosed",

@@ -156,6 +156,22 @@ class RequestQueue:
             self._items.append(((int(priority), int(seq)), item))
             self._cond.notify_all()
 
+    def requeue(self, item: Any, priority: int, seq: int) -> None:
+        """Put a previously-dequeued item back (worker-crash recovery).
+
+        Bypasses the capacity limit — the item already held a queue slot
+        once, and blocking a crash-recovery path on backpressure could
+        deadlock the supervisor.  Keeps the item's original
+        ``(priority, seq)`` so it re-executes in its original order.
+        Raises :class:`QueueClosed` only when the queue was closed
+        *without* drain (a draining queue still serves requeued work).
+        """
+        with self._cond:
+            if self._closed and not self._draining:
+                raise QueueClosed("queue is closed and not draining")
+            self._items.append(((int(priority), int(seq)), item))
+            self._cond.notify_all()
+
     # -- consumer side -------------------------------------------------
     def pop_batch(
         self,

@@ -163,6 +163,19 @@ class ServiceMetrics:
         self.batch_sizes = CountHistogram()
         self.queue_depth_at_dequeue = CountHistogram()
         self.stage_times = StageTimes()
+        # Resilience: verification, fallback, fault-tolerance events.
+        self.verifications = Counter()
+        self.verification_failures = Counter()
+        self.escalations = Counter()
+        self.fallback_exhausted = Counter()
+        self.worker_crashes = Counter()
+        self.worker_respawns = Counter()
+        self.crash_requeues = Counter()
+        self.deadline_expired = Counter()
+        self.backend_faults = Counter()
+        self.breaker_fallbacks = Counter()
+        self.residuals = ValueHistogram(max_samples)
+        self.orth_errors = ValueHistogram(max_samples)
 
     def snapshot(self) -> dict:
         return {
@@ -180,4 +193,18 @@ class ServiceMetrics:
             "batch_sizes": self.batch_sizes.snapshot(),
             "queue_depth_at_dequeue": self.queue_depth_at_dequeue.snapshot(),
             "stage_times": self.stage_times.snapshot(),
+            "resilience": {
+                "verifications": self.verifications.value,
+                "verification_failures": self.verification_failures.value,
+                "escalations": self.escalations.value,
+                "fallback_exhausted": self.fallback_exhausted.value,
+                "worker_crashes": self.worker_crashes.value,
+                "worker_respawns": self.worker_respawns.value,
+                "crash_requeues": self.crash_requeues.value,
+                "deadline_expired": self.deadline_expired.value,
+                "backend_faults": self.backend_faults.value,
+                "breaker_fallbacks": self.breaker_fallbacks.value,
+                "residuals": self.residuals.snapshot(),
+                "orth_errors": self.orth_errors.snapshot(),
+            },
         }

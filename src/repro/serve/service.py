@@ -32,6 +32,36 @@ a request-serving engine:
 * a failing request (non-finite input, bad shape, ...) fails only its
   own future — the workers and every other request keep going.
 
+**Fault tolerance** (:mod:`repro.resilience`) hardens the loop for
+production traffic — the contract is *no future is ever lost*: every
+``submit()`` resolves to a verified result or a typed
+:class:`~repro.resilience.ReproError` subclass.
+
+* every computed result is run through
+  :func:`~repro.resilience.verify_evd` (``config.verify``, on by
+  default): residual/orthogonality land in ``stats()`` histograms and a
+  failing check fails the future with a typed
+  :class:`~repro.resilience.VerificationError` — or escalates, when the
+  request planned ``fallback="chain"``
+  (:func:`~repro.resilience.execute_plan_with_fallback`); escalated
+  results are *re-keyed* in the cache under the plan that actually
+  produced them, never the submitted plan's token;
+* per-request **deadlines** (``submit(..., deadline_s=...)`` or
+  ``config.default_deadline_s``) are enforced cooperatively at execution
+  boundaries: an expired request fails with
+  :class:`~repro.resilience.DeadlineExceeded` instead of occupying a
+  worker;
+* **worker supervision**: a worker thread dying mid-batch (any
+  ``BaseException``) re-enqueues its unfinished in-flight requests (up
+  to ``config.max_crash_retries`` each, then a typed
+  :class:`~repro.resilience.WorkerCrashError`) and respawns a
+  replacement worker;
+* a per-backend **circuit breaker**
+  (:class:`~repro.resilience.CircuitBreaker`) counts consecutive
+  :class:`~repro.resilience.BackendFault` failures per non-NumPy
+  backend and, once open, reroutes that backend's requests to the NumPy
+  reference backend until the reset timeout elapses.
+
 The *effective options* of a request are the submitted solver options,
 plus ``method="dense"`` when the service's opt-in small-``n`` fast path
 (``dense_fastpath_max_n``) promotes an unpinned request.  The
@@ -41,6 +71,7 @@ path disabled (the default) effective == submitted.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import threading
 import time
@@ -57,6 +88,17 @@ from ..core.validation import check_symmetric
 from ..plan.config import EVDPlan
 from ..plan.planner import plan_evd
 from ..plan.runner import execute_plan
+from ..resilience.breaker import BreakerRegistry
+from ..resilience.errors import (
+    BackendFault,
+    DeadlineExceeded,
+    FallbackExhausted,
+    VerificationError,
+    WorkerCrashError,
+)
+from ..resilience.fallback import execute_plan_with_fallback
+from ..resilience.faults import maybe_raise
+from ..resilience.verify import verify_evd
 from .batcher import BatchPolicy, QueueClosed, QueueFull, QueueTimeout, RequestQueue
 from .cache import ResultCache, plan_cache_key
 from .metrics import ServiceMetrics
@@ -117,6 +159,27 @@ class ServiceConfig:
         LRU result-cache capacity (0 disables caching).
     metrics_samples : int
         Reservoir size for latency percentile estimation.
+    verify : bool
+        Run :func:`~repro.resilience.verify_evd` on every computed
+        result (default True).  Verification never alters result bits;
+        a failing check fails the future with
+        :class:`~repro.resilience.VerificationError` (or escalates a
+        ``fallback="chain"`` request).
+    tol_residual, tol_orth : float or None
+        Verification tolerances (``None`` = size-scaled defaults,
+        :func:`repro.resilience.default_tolerances`).
+    default_deadline_s : float or None
+        Deadline applied to requests that do not pass their own
+        ``deadline_s`` (``None`` = no deadline).
+    max_crash_retries : int
+        How many times a request orphaned by a worker crash is
+        re-enqueued before failing with
+        :class:`~repro.resilience.WorkerCrashError`.
+    breaker_threshold : int
+        Consecutive :class:`~repro.resilience.BackendFault` failures
+        that trip a non-NumPy backend's circuit breaker open.
+    breaker_reset_s : float
+        Seconds an open breaker waits before letting a probe through.
     """
 
     workers: int = 4
@@ -130,6 +193,13 @@ class ServiceConfig:
     dense_fastpath_max_n: int | None = None
     cache_entries: int = 256
     metrics_samples: int = 2048
+    verify: bool = True
+    tol_residual: float | None = None
+    tol_orth: float | None = None
+    default_deadline_s: float | None = None
+    max_crash_retries: int = 1
+    breaker_threshold: int = 3
+    breaker_reset_s: float = 30.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -139,6 +209,10 @@ class ServiceConfig:
                 f"backpressure must be one of {_BACKPRESSURE_POLICIES}, "
                 f"got {self.backpressure!r}"
             )
+        if self.max_crash_retries < 0:
+            raise ValueError("max_crash_retries must be >= 0")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
 
 
 @dataclass
@@ -150,7 +224,13 @@ class _Request:
     non-square input destined to fail its future, or options pinning a
     live backend object).  The cache key and batch signature both derive
     from ``plan.cache_token()``, so equivalent spellings of the same
-    pipeline share one cache entry and coalesce in flight."""
+    pipeline share one cache entry and coalesce in flight.
+
+    ``deadline`` is an absolute ``time.monotonic()`` instant (``None`` =
+    unbounded); ``crashes`` counts worker-crash orphanings (bounded by
+    ``config.max_crash_retries``); ``started`` records that the future
+    already transitioned to RUNNING, so a crash-requeued request does
+    not call ``set_running_or_notify_cancel`` twice."""
 
     seq: int
     priority: int
@@ -162,6 +242,9 @@ class _Request:
     future: Future = field(default_factory=Future)
     t_submit: float = 0.0
     t_enqueue: float = 0.0
+    deadline: float | None = None
+    crashes: int = 0
+    started: bool = False
 
 
 class SolverService:
@@ -178,6 +261,10 @@ class SolverService:
         self.config = config or ServiceConfig()
         self.metrics = ServiceMetrics(self.config.metrics_samples)
         self.cache = ResultCache(self.config.cache_entries)
+        self.breakers = BreakerRegistry(
+            failure_threshold=self.config.breaker_threshold,
+            reset_timeout_s=self.config.breaker_reset_s,
+        )
         self._queue = RequestQueue(self.config.queue_limit)
         self._batch_policy = BatchPolicy(
             max_batch=self.config.max_batch,
@@ -185,20 +272,25 @@ class SolverService:
             adaptive=self.config.adaptive_batching,
         )
         self._seq = itertools.count()
+        self._worker_ids = itertools.count()
         self._closed = False
         self._close_lock = threading.Lock()
         self._inflight: dict[str, Future] = {}
         self._inflight_lock = threading.Lock()
-        self._threads = [
-            threading.Thread(
-                target=self._worker_loop,
-                name=f"repro-serve-worker-{i}",
-                daemon=True,
-            )
-            for i in range(self.config.workers)
-        ]
-        for t in self._threads:
-            t.start()
+        self._threads_lock = threading.Lock()
+        self._threads: list[threading.Thread] = []
+        for _ in range(self.config.workers):
+            self._spawn_worker()
+
+    def _spawn_worker(self) -> None:
+        t = threading.Thread(
+            target=self._worker_main,
+            name=f"repro-serve-worker-{next(self._worker_ids)}",
+            daemon=True,
+        )
+        with self._threads_lock:
+            self._threads.append(t)
+        t.start()
 
     # -- request intake ------------------------------------------------
     def submit(self, A: np.ndarray, priority: int = 0, **solver_opts) -> Future:
@@ -207,8 +299,10 @@ class SolverService:
         ``priority`` orders dequeueing (lower value first, FIFO within a
         level).  ``solver_opts`` are the keyword arguments of
         :func:`repro.eigh` (``method``, ``solver``, ``compute_vectors``,
-        ...).  Result arrays are shared with the cache and therefore
-        read-only.
+        ``fallback``, ...) plus the service-level ``deadline_s`` (float
+        seconds from now; an expired request fails with
+        :class:`~repro.resilience.DeadlineExceeded`).  Result arrays are
+        shared with the cache and therefore read-only.
 
         Raises :class:`ServiceClosed` / :class:`ServiceOverloaded` /
         :class:`SubmitTimeout` per the configured backpressure policy,
@@ -221,6 +315,9 @@ class SolverService:
         if self._closed:
             raise ServiceClosed("service is closed")
         self.metrics.submitted.inc()
+        deadline_s = solver_opts.pop("deadline_s", None)
+        if deadline_s is None:
+            deadline_s = self.config.default_deadline_s
         A = np.asarray(A)
         n = A.shape[0] if (A.ndim == 2 and A.shape[0] == A.shape[1]) else None
         effective = dict(solver_opts)
@@ -235,6 +332,7 @@ class SolverService:
             effective["method"] = "dense"
         plan = self._plan_for(n, effective)
         cache_key = plan_cache_key(A, plan)
+        t_submit = time.monotonic()
         req = _Request(
             seq=next(self._seq),
             priority=int(priority),
@@ -243,7 +341,8 @@ class SolverService:
             n=n,
             cache_key=cache_key,
             plan=plan,
-            t_submit=time.monotonic(),
+            t_submit=t_submit,
+            deadline=(t_submit + float(deadline_s)) if deadline_s is not None else None,
         )
         cached = self.cache.get(cache_key)
         if cached is not None:
@@ -362,14 +461,43 @@ class SolverService:
             return None
         return (req.n, req.plan.cache_token())
 
+    def _worker_main(self) -> None:
+        """Thread target: the worker loop under supervision.
+
+        A worker dying on a ``BaseException`` (a real thread-killing
+        condition, or the injected ``serve.worker`` crash fault) has its
+        in-flight batch rescued by :meth:`_handle_worker_crash` inside
+        :meth:`_worker_loop`; here the replacement worker is spawned so
+        service capacity survives the crash.
+        """
+        try:
+            self._worker_loop()
+        except BaseException:
+            with self._close_lock:
+                closed = self._closed
+            if not closed:
+                self.metrics.worker_respawns.inc()
+                self._spawn_worker()
+
     def _worker_loop(self) -> None:
         # Each worker constructs its context *in its own thread*: the
         # workspace pool binds to this thread and amortizes across every
-        # request the worker serves.
-        ctx = ExecutionContext(
-            backend=self.config.backend,
-            hooks=[self.metrics.stage_times.hook],
-        )
+        # request the worker serves.  An unavailable configured backend
+        # must not kill the worker before it serves anything (that would
+        # strand queued futures and spin the supervisor respawning
+        # stillborn threads) — fall back to a NumPy context; requests
+        # whose plan pins the unavailable backend then fail individually
+        # with the backend's own typed error at execution time.
+        try:
+            ctx = ExecutionContext(
+                backend=self.config.backend,
+                hooks=[self.metrics.stage_times.hook],
+            )
+        except Exception:
+            ctx = ExecutionContext(
+                backend="numpy",
+                hooks=[self.metrics.stage_times.hook],
+            )
         while True:
             popped = self._queue.pop_batch(self._signature, self._batch_policy)
             if popped is None:
@@ -381,7 +509,69 @@ class SolverService:
             self.metrics.queue_depth_at_dequeue.observe(depth)
             for req in batch:
                 self.metrics.queue_wait_s.observe(now - req.t_enqueue)
-            self._execute_batch(ctx, batch)
+            try:
+                self._execute_batch(ctx, batch)
+            except BaseException as exc:
+                # Worker crash: rescue the in-flight batch, then let the
+                # exception kill this thread (supervision respawns it).
+                self._handle_worker_crash(batch, exc)
+                raise
+
+    def _handle_worker_crash(self, batch: list[_Request], exc: BaseException) -> None:
+        """No future is ever lost: every unfinished request of a crashed
+        worker's batch is re-enqueued (keeping its original priority/seq)
+        or failed with a typed :class:`WorkerCrashError` once its retry
+        budget is spent."""
+        self.metrics.worker_crashes.inc()
+        for req in batch:
+            if req.future.done():
+                continue
+            req.crashes += 1
+            if req.crashes > self.config.max_crash_retries or self._closed:
+                self.metrics.failed.inc()
+                req.future.set_exception(
+                    WorkerCrashError(
+                        f"worker thread died while executing this request "
+                        f"(crash {req.crashes}, retry budget "
+                        f"{self.config.max_crash_retries}): {exc!r}"
+                    )
+                )
+                continue
+            try:
+                self._queue.requeue(req, req.priority, req.seq)
+                self.metrics.crash_requeues.inc()
+            except QueueClosed:
+                self.metrics.failed.inc()
+                req.future.set_exception(
+                    WorkerCrashError(
+                        f"worker thread died and the service is closed: {exc!r}"
+                    )
+                )
+
+    def _begin(self, req: _Request) -> bool:
+        """Transition the request's future to RUNNING (idempotent across
+        crash re-executions); False when it was cancelled or already
+        resolved."""
+        if req.started:
+            return not req.future.done()
+        req.started = True
+        if req.future.set_running_or_notify_cancel():
+            return True
+        self.metrics.cancelled.inc()
+        return False
+
+    def _expired(self, req: _Request) -> bool:
+        if req.deadline is None or time.monotonic() <= req.deadline:
+            return False
+        self.metrics.deadline_expired.inc()
+        self.metrics.failed.inc()
+        req.future.set_exception(
+            DeadlineExceeded(
+                f"request deadline expired before execution "
+                f"(deadline was {req.deadline - req.t_submit:.3f}s after submit)"
+            )
+        )
+        return True
 
     def _execute_batch(self, ctx: ExecutionContext, batch: list[_Request]) -> None:
         # Re-check the cache: an identical request may have completed
@@ -390,11 +580,9 @@ class SolverService:
         for req in batch:
             cached = self.cache.get(req.cache_key)
             if cached is not None:
-                if req.future.set_running_or_notify_cancel():
+                if self._begin(req):
                     req.future.set_result(cached)
                     self._finish(req)
-                else:
-                    self.metrics.cancelled.inc()
             else:
                 live.append(req)
         if not live:
@@ -410,29 +598,112 @@ class SolverService:
                 self._execute_single(ctx, req)
 
     def _execute_single(self, ctx: ExecutionContext, req: _Request) -> None:
-        if not req.future.set_running_or_notify_cancel():
-            self.metrics.cancelled.inc()
+        if not self._begin(req):
             return
+        if self._expired(req):
+            return
+        # Injected worker death: a BaseException that sails past every
+        # handler below, exactly like a genuine thread-killing failure.
+        maybe_raise("serve.worker")
+
+        # Circuit breaker: an open breaker reroutes this request's plan
+        # to the NumPy reference backend instead of burning another
+        # attempt against a failing accelerator backend.
+        plan = req.plan
+        breaker = None
+        rerouted = False
+        if plan is not None and plan.backend != "numpy":
+            breaker = self.breakers.get(plan.backend)
+            if not breaker.allow():
+                self.metrics.breaker_fallbacks.inc()
+                plan = dataclasses.replace(plan, backend="numpy")
+                breaker = None
+                rerouted = True
+        outcome = None
         try:
-            if req.plan is None:
+            maybe_raise("serve.backend")
+            if plan is None:
                 # Unplannable (non-square input or a live backend object
                 # pinned in the options): replay the raw call so the
                 # failure / backend identity semantics match direct eigh.
                 result = core_eigh(req.A, **req.effective_opts)
-            elif "backend" in req.effective_opts:
-                # The request pinned its own substrate; the worker
-                # context (and its workspace amortization) steps aside —
-                # the runner resolves a fresh context from plan.backend.
-                result = execute_plan(req.A, req.plan, ctx=None)
             else:
-                result = execute_plan(req.A, req.plan, ctx=ctx)
-        except Exception as exc:
+                # A pinned backend, a breaker reroute, or a worker whose
+                # configured backend was unavailable all mean the worker
+                # context's substrate does not match the plan; step
+                # aside and let the runner resolve a context from
+                # plan.backend (raising its typed unavailability error
+                # on this request's future alone).
+                use_ctx = (
+                    ctx
+                    if (
+                        "backend" not in req.effective_opts
+                        and not rerouted
+                        and plan.backend == ctx.backend.name
+                    )
+                    else None
+                )
+                if plan.fallback == "chain" or self.config.verify:
+                    outcome = execute_plan_with_fallback(
+                        req.A,
+                        plan,
+                        ctx=use_ctx,
+                        verify=self.config.verify,
+                        tol_residual=self.config.tol_residual,
+                        tol_orth=self.config.tol_orth,
+                    )
+                    result = outcome.result
+                else:
+                    result = execute_plan(req.A, plan, ctx=use_ctx)
+        except BackendFault as exc:
+            self.metrics.backend_faults.inc()
+            if breaker is not None:
+                breaker.record_failure()
             self.metrics.failed.inc()
             req.future.set_exception(exc)
             return
-        self.cache.put(req.cache_key, result)
+        except Exception as exc:
+            if isinstance(exc, VerificationError):
+                self.metrics.verification_failures.inc()
+            if isinstance(exc, FallbackExhausted):
+                self.metrics.fallback_exhausted.inc()
+            self.metrics.failed.inc()
+            req.future.set_exception(exc)
+            return
+        if breaker is not None:
+            breaker.record_success()
+        self._record_outcome(outcome)
+        if outcome is not None and outcome.escalated:
+            # Never under the submitted plan's token (structurally
+            # refused by the cache) — re-keyed under the producing plan.
+            self.cache.put(req.cache_key, result, escalated=True)
+            self.cache.put_escalated(plan_cache_key(req.A, outcome.plan), result)
+        elif rerouted:
+            # Produced by the NumPy reroute, not the submitted plan:
+            # cache only under the plan that actually ran.
+            self.cache.put(plan_cache_key(req.A, plan), result)
+        else:
+            self.cache.put(req.cache_key, result)
         req.future.set_result(result)
         self._finish(req)
+
+    def _record_outcome(self, outcome) -> None:
+        """Verification / escalation accounting for a fallback-executor
+        outcome (``None`` when the request ran the plain path)."""
+        if outcome is None:
+            return
+        report = outcome.report
+        if report is not None:
+            self.metrics.verifications.inc()
+            if report.residual is not None:
+                self.metrics.residuals.observe(report.residual)
+            if report.orth_error is not None:
+                self.metrics.orth_errors.observe(report.orth_error)
+        if outcome.escalated:
+            self.metrics.escalations.inc(len(outcome.escalations))
+            for rec in outcome.escalations:
+                if rec.error_type == "VerificationError":
+                    self.metrics.verification_failures.inc()
 
     def _execute_dense_stacked(
         self, ctx: ExecutionContext, batch: list[_Request]
@@ -447,8 +718,9 @@ class SolverService:
         started: list[_Request] = []
         clean: list[np.ndarray] = []
         for req in batch:
-            if not req.future.set_running_or_notify_cancel():
-                self.metrics.cancelled.inc()
+            if not self._begin(req):
+                continue
+            if self._expired(req):
                 continue
             try:
                 clean.append(check_symmetric(req.A))
@@ -458,18 +730,52 @@ class SolverService:
                 req.future.set_exception(exc)
         if not started:
             return
-        compute_vectors = started[0].plan.solver.compute_vectors
+        maybe_raise("serve.worker")
+        plan0 = started[0].plan
+        compute_vectors = plan0.solver.compute_vectors
+        # A worker running on its fallback context (configured backend
+        # unavailable) must not silently substitute another substrate's
+        # bits — resolve from the plan's backend name and let its typed
+        # unavailability error fail the batch.
+        exec_backend = ctx if plan0.backend == ctx.backend.name else plan0.backend
         try:
+            maybe_raise("serve.backend")
             results = eigh_stacked(
-                np.stack(clean), compute_vectors=compute_vectors, backend=ctx
+                np.stack(clean), compute_vectors=compute_vectors, backend=exec_backend
             )
+        except BackendFault as exc:
+            self.metrics.backend_faults.inc()
+            for req in started:
+                self.metrics.failed.inc()
+                req.future.set_exception(exc)
+            return
         except Exception as exc:
             for req in started:
                 self.metrics.failed.inc()
                 req.future.set_exception(exc)
             return
         self.metrics.stacked_batches.inc()
-        for req, result in zip(started, results):
+        for req, A_clean, result in zip(started, clean, results):
+            if self.config.verify:
+                report = verify_evd(
+                    A_clean,
+                    result,
+                    tol_residual=self.config.tol_residual,
+                    tol_orth=self.config.tol_orth,
+                    ctx=ctx,
+                )
+                self.metrics.verifications.inc()
+                if report.residual is not None:
+                    self.metrics.residuals.observe(report.residual)
+                if report.orth_error is not None:
+                    self.metrics.orth_errors.observe(report.orth_error)
+                try:
+                    report.raise_if_failed()
+                except VerificationError as exc:
+                    self.metrics.verification_failures.inc()
+                    self.metrics.failed.inc()
+                    req.future.set_exception(exc)
+                    continue
             self.cache.put(req.cache_key, result)
             req.future.set_result(result)
             self._finish(req)
@@ -495,8 +801,22 @@ class SolverService:
         for req in removed:
             if req.future.cancel():
                 self.metrics.cancelled.inc()
-        for t in self._threads:
-            t.join(timeout)
+        # The thread list can grow while we join (a crash just before
+        # close respawns a worker) — join snapshots until quiescent.
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        while True:
+            with self._threads_lock:
+                alive = [t for t in self._threads if t.is_alive()]
+            if not alive:
+                return
+            for t in alive:
+                if deadline is None:
+                    t.join()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return
+                    t.join(remaining)
 
     def __enter__(self) -> "SolverService":
         return self
@@ -528,4 +848,10 @@ class SolverService:
             "ewma_interarrival_s": self._queue.ewma_interarrival_s,
             "cache": self.cache.stats(),
             "metrics": self.metrics.snapshot(),
+            "resilience": {
+                "verify": self.config.verify,
+                "default_deadline_s": self.config.default_deadline_s,
+                "max_crash_retries": self.config.max_crash_retries,
+                "breakers": self.breakers.stats(),
+            },
         }

@@ -83,3 +83,66 @@ class TestCommands:
         assert main(["devices"]) == 0
         out = capsys.readouterr().out
         assert "H100" in out and "4090" in out
+
+
+class TestVerifyCommand:
+    def test_save_then_verify_ok(self, capsys, tmp_path):
+        path = str(tmp_path / "r.npz")
+        assert main(["evd", "--n", "60", "--save", path]) == 0
+        assert main(["verify", path]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "check residual: pass" in out
+
+    def test_verify_fails_on_corrupted_result(self, capsys, tmp_path):
+        import numpy as np
+
+        from repro.core.serialization import load_evd, save_evd
+
+        path = str(tmp_path / "r.npz")
+        assert main(["evd", "--n", "40", "--save", path]) == 0
+        res, A = load_evd(path)
+        V = res.eigenvectors.copy()
+        V[0, 0] += 0.5
+        res.eigenvectors = V
+        bad = str(tmp_path / "bad.npz")
+        save_evd(bad, res, A=A)
+        capsys.readouterr()
+        assert main(["verify", bad]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_verify_without_matrix_needs_flag(self, capsys, tmp_path):
+        import numpy as np
+
+        import repro
+        from repro.core.serialization import save_evd
+
+        rng = np.random.default_rng(3)
+        A = rng.standard_normal((24, 24))
+        A = (A + A.T) / 2
+        path = str(tmp_path / "r.npz")
+        save_evd(path, repro.eigh(A))  # no embedded matrix
+        assert main(["verify", path]) == 2
+        mat = str(tmp_path / "A.npy")
+        np.save(mat, A)
+        assert main(["verify", path, "--matrix", mat]) == 0
+
+
+class TestFaultInjectionFlags:
+    def test_faults_flag_fails_without_fallback(self, capsys):
+        assert main(["evd", "--n", "40",
+                     "--faults", "dc.merge:convergence"]) == 1
+        assert "ConvergenceError" in capsys.readouterr().err
+
+    def test_faults_flag_recovers_with_chain(self, capsys):
+        assert main(["evd", "--n", "40", "--faults", "dc.merge:convergence",
+                     "--fallback", "chain"]) == 0
+        assert "residual" in capsys.readouterr().out
+
+    def test_env_hook_arms_faults(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "dc.merge:convergence")
+        try:
+            assert main(["evd", "--n", "40"]) == 1
+        finally:
+            from repro.resilience import clear_faults
+
+            clear_faults()

@@ -85,3 +85,53 @@ class TestRoundTrip:
         # Factors are O(n^2); the archive should stay within a small
         # multiple of the dense matrix itself.
         assert tmp_npz.stat().st_size < 12 * n * n * 8
+
+
+class TestEVDRoundTrip:
+    def test_round_trip_with_source_matrix(self, tmp_path):
+        import repro
+        from repro.core.serialization import load_evd, save_evd
+
+        A = goe(40, seed=61)
+        res = repro.eigh(A)
+        path = tmp_path / "evd.npz"
+        save_evd(path, res, A=A)
+        loaded, A_back = load_evd(path)
+        assert np.array_equal(loaded.eigenvalues, res.eigenvalues)
+        assert np.array_equal(loaded.eigenvectors, res.eigenvectors)
+        assert np.array_equal(A_back, A)
+        assert loaded.solver == res.solver
+        assert loaded.tridiag is None
+
+    def test_round_trip_eigenvalues_only_no_matrix(self, tmp_path):
+        import repro
+        from repro.core.serialization import load_evd, save_evd
+
+        A = goe(24, seed=62)
+        res = repro.eigh(A, compute_vectors=False)
+        path = tmp_path / "lam.npz"
+        save_evd(path, res)
+        loaded, A_back = load_evd(path)
+        assert np.array_equal(loaded.eigenvalues, res.eigenvalues)
+        assert loaded.eigenvectors is None and A_back is None
+
+    def test_load_evd_rejects_tridiag_archive(self, tmp_path):
+        from repro.core.serialization import load_evd
+
+        A = goe(24, seed=63)
+        res = tridiagonalize(A, method="dbbr", bandwidth=4, second_block=8)
+        path = tmp_path / "tri.npz"
+        save_tridiag(path, res)
+        with pytest.raises(ValueError, match="not an EVD archive"):
+            load_evd(path)
+
+    def test_loaded_result_verifies(self, tmp_path):
+        import repro
+        from repro.core.serialization import load_evd, save_evd
+        from repro.resilience import verify_evd
+
+        A = goe(32, seed=64)
+        path = tmp_path / "evd.npz"
+        save_evd(path, repro.eigh(A), A=A)
+        result, A_back = load_evd(path)
+        assert verify_evd(A_back, result).ok

@@ -1,0 +1,81 @@
+"""Convergence guards: iterative kernels raise a typed, contextful
+:class:`~repro.resilience.ConvergenceError` instead of spinning or
+silently returning unconverged roots."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eig import solve_all_roots, tridiag_qr_eigh
+from repro.eig.jacobi import jacobi_eigh
+from repro.resilience import (
+    ConvergenceError,
+    FaultSpec,
+    clear_faults,
+    injected_faults,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    clear_faults()
+    yield
+    clear_faults()
+
+
+def secular_problem(n: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    d = np.sort(rng.standard_normal(n))
+    z = rng.standard_normal(n)
+    z /= np.linalg.norm(z)
+    return d, z, 1.0
+
+
+class TestSecularGuard:
+    @pytest.mark.parametrize("mode", ["batched", "scalar"])
+    def test_starved_iteration_budget_raises_typed(self, mode):
+        d, z, rho = secular_problem(64, seed=1)
+        with pytest.raises(ConvergenceError) as info:
+            solve_all_roots(d, z, rho, mode=mode, max_iter=1)
+        exc = info.value
+        assert exc.site == "secular.newton"
+        assert exc.iterations == 1
+        assert exc.indices  # names the offending roots
+
+    @pytest.mark.parametrize("mode", ["batched", "scalar"])
+    def test_default_budget_converges(self, mode):
+        d, z, rho = secular_problem(64, seed=2)
+        lam = solve_all_roots(d, z, rho, mode=mode).values
+        # Interlacing: d_i < lam_i < d_{i+1} (rho > 0).
+        assert np.all(lam[:-1] >= d[:-1])
+        assert np.all(np.isfinite(lam))
+
+    def test_guard_is_catchable_as_linalgerror(self):
+        d, z, rho = secular_problem(32, seed=3)
+        with pytest.raises(np.linalg.LinAlgError):
+            solve_all_roots(d, z, rho, max_iter=1)
+
+
+class TestInjectedGuards:
+    def test_qr_sweep_site_raises_in_context(self):
+        rng = np.random.default_rng(4)
+        d, e = rng.standard_normal(16), rng.standard_normal(15)
+        with injected_faults(FaultSpec("qr.sweep", "convergence")):
+            with pytest.raises(ConvergenceError) as info:
+                tridiag_qr_eigh(d, e)
+        assert info.value.site == "qr.sweep"
+
+    def test_jacobi_sweep_site_raises_in_context(self):
+        A = np.random.default_rng(5).standard_normal((8, 8))
+        A = (A + A.T) / 2
+        with injected_faults(FaultSpec("jacobi.sweep", "convergence")):
+            with pytest.raises(ConvergenceError) as info:
+                jacobi_eigh(A)
+        assert info.value.site == "jacobi.sweep"
+
+    def test_secular_site_fires_before_any_work(self):
+        d, z, rho = secular_problem(16, seed=6)
+        with injected_faults(FaultSpec("secular.newton", "convergence")):
+            with pytest.raises(ConvergenceError):
+                solve_all_roots(d, z, rho)

@@ -36,6 +36,41 @@ def test_householder_annihilation_property(x):
     assert np.linalg.norm(H @ H.T - np.eye(x.size)) < 1e-12
 
 
+def test_householder_subnormal_range_rescales():
+    """Vectors whose squared norm underflows to the denormal range still
+    yield an orthogonal reflector (the dlarfg-style rescale path).  A
+    hypothesis-found regression: before the rescale, ``alpha**2 + sigma``
+    for this input carried ~1 significant bit and H lost orthogonality
+    at the 0.5 level."""
+    for x in (
+        np.array([1.62483227e-162, 1.62483227e-162]),
+        np.array([5e-324, 5e-324]),  # smallest denormals
+        np.array([0.0, 5e-324]),
+        np.array([-1e-140, 2e-141, -3e-140]),
+    ):
+        v, tau, beta = make_householder(x)
+        H = np.eye(x.size) - tau * np.outer(v, v)
+        nx = np.linalg.norm(x)
+        assert abs(abs(beta) - nx) <= 1e-12 * max(nx, 1.0)
+        assert np.max(np.abs((H @ x)[1:])) <= 1e-10 * max(nx, 1.0)
+        assert np.linalg.norm(H @ H.T - np.eye(x.size)) < 1e-12
+
+
+def test_householder_normal_range_bits_unchanged():
+    """The rescale guard must not perturb normal-magnitude inputs: the
+    returned (tau, beta) match the direct unscaled formulas bit-for-bit."""
+    rng = np.random.default_rng(0)
+    for _ in range(200):
+        n = int(rng.integers(2, 30))
+        x = rng.standard_normal(n) * 10.0 ** float(rng.integers(-100, 100))
+        v, tau, beta = make_householder(x)
+        sigma = float(np.dot(x[1:], x[1:]))
+        alpha = float(x[0])
+        ref_beta = -np.copysign(np.sqrt(alpha * alpha + sigma), alpha)
+        assert beta == ref_beta
+        assert tau == (ref_beta - alpha) / ref_beta
+
+
 @st.composite
 def reflector_sequence(draw):
     m = draw(st.integers(min_value=2, max_value=20))

@@ -1,0 +1,91 @@
+"""Circuit breaker state machine, with an injectable clock so timing is
+deterministic."""
+
+from __future__ import annotations
+
+from repro.resilience import BreakerRegistry, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=3, reset=30.0):
+        clock = FakeClock()
+        return CircuitBreaker("torch", failure_threshold=threshold,
+                              reset_timeout_s=reset, clock=clock), clock
+
+    def test_stays_closed_below_threshold(self):
+        br, _ = self.make(threshold=3)
+        br.record_failure()
+        br.record_failure()
+        assert br.allow()
+        assert br.stats()["state"] == "closed"
+
+    def test_success_resets_consecutive_count(self):
+        br, _ = self.make(threshold=2)
+        br.record_failure()
+        br.record_success()
+        br.record_failure()
+        assert br.allow()  # never saw 2 consecutive failures
+
+    def test_threshold_trips_open(self):
+        br, _ = self.make(threshold=3)
+        for _ in range(3):
+            br.record_failure()
+        assert not br.allow()
+        st = br.stats()
+        assert st["state"] == "open" and st["trips"] == 1
+        assert st["rejections"] >= 1
+
+    def test_half_open_after_reset_allows_single_probe(self):
+        br, clock = self.make(threshold=1, reset=30.0)
+        br.record_failure()
+        assert not br.allow()
+        clock.advance(31.0)
+        assert br.stats()["state"] == "half_open"
+        assert br.allow()       # the probe
+        assert not br.allow()   # only one probe at a time
+
+    def test_probe_success_closes(self):
+        br, clock = self.make(threshold=1, reset=30.0)
+        br.record_failure()
+        clock.advance(31.0)
+        assert br.allow()
+        br.record_success()
+        assert br.stats()["state"] == "closed"
+        assert br.allow()
+
+    def test_probe_failure_reopens(self):
+        br, clock = self.make(threshold=1, reset=30.0)
+        br.record_failure()
+        clock.advance(31.0)
+        assert br.allow()
+        br.record_failure()
+        assert br.stats()["state"] == "open"
+        assert not br.allow()
+        assert br.stats()["trips"] == 2
+
+
+class TestRegistry:
+    def test_one_breaker_per_backend(self):
+        reg = BreakerRegistry(failure_threshold=2, reset_timeout_s=10.0)
+        assert reg.get("torch") is reg.get("torch")
+        assert reg.get("torch") is not reg.get("cupy")
+
+    def test_stats_keyed_by_backend(self):
+        clock = FakeClock()
+        reg = BreakerRegistry(failure_threshold=1, reset_timeout_s=10.0,
+                              clock=clock)
+        reg.get("torch").record_failure()
+        st = reg.stats()
+        assert set(st) == {"torch"}
+        assert st["torch"]["state"] == "open"

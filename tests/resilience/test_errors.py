@@ -1,0 +1,101 @@
+"""The typed error hierarchy: one ``except ReproError`` covers every
+deliberate failure, and historical base classes keep catching."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EmptyMatrixError,
+    NonFiniteError,
+    NonSquareError,
+    SymmetryError,
+    check_symmetric,
+)
+from repro.plan import PlanError, plan_evd
+from repro.resilience import (
+    BackendFault,
+    ConvergenceError,
+    DeadlineExceeded,
+    FallbackExhausted,
+    FaultInjectionError,
+    InjectedWorkerCrash,
+    ReproError,
+    VerificationError,
+    WorkerCrashError,
+)
+
+
+class TestHierarchy:
+    def test_every_typed_error_is_a_repro_error(self):
+        for cls in (
+            ConvergenceError, VerificationError, WorkerCrashError,
+            DeadlineExceeded, BackendFault, FallbackExhausted,
+            FaultInjectionError, SymmetryError, NonSquareError,
+            NonFiniteError, EmptyMatrixError, PlanError,
+        ):
+            assert issubclass(cls, ReproError), cls
+
+    def test_convergence_error_keeps_linalgerror_base(self):
+        assert issubclass(ConvergenceError, np.linalg.LinAlgError)
+        with pytest.raises(np.linalg.LinAlgError):
+            raise ConvergenceError("stalled")
+
+    def test_validation_errors_keep_valueerror_base(self):
+        for cls in (SymmetryError, NonSquareError, NonFiniteError,
+                    EmptyMatrixError, PlanError):
+            assert issubclass(cls, ValueError), cls
+
+    def test_backend_fault_keeps_runtimeerror_base(self):
+        assert issubclass(BackendFault, RuntimeError)
+
+    def test_injected_worker_crash_escapes_except_exception(self):
+        assert issubclass(InjectedWorkerCrash, BaseException)
+        assert not issubclass(InjectedWorkerCrash, Exception)
+        with pytest.raises(InjectedWorkerCrash):
+            try:
+                raise InjectedWorkerCrash("serve.worker")
+            except Exception:  # pragma: no cover - must NOT swallow it
+                pytest.fail("InjectedWorkerCrash was caught by except Exception")
+
+
+class TestValidationStillTyped:
+    def test_check_symmetric_raises_repro_error(self):
+        with pytest.raises(ReproError):
+            check_symmetric(np.ones((2, 3)))
+        with pytest.raises(ValueError):
+            check_symmetric(np.ones((2, 3)))
+
+    def test_plan_error_is_repro_error(self):
+        with pytest.raises(ReproError):
+            plan_evd(64, "no-such-method")
+
+
+class TestPayloads:
+    def test_convergence_error_context(self):
+        exc = ConvergenceError(
+            "stalled", site="secular.newton", iterations=256,
+            indices=np.array([3, 7]),
+        )
+        assert exc.site == "secular.newton"
+        assert exc.iterations == 256
+        assert exc.indices == [3, 7]
+
+    def test_convergence_error_defaults(self):
+        exc = ConvergenceError("stalled")
+        assert exc.site is None and exc.iterations is None
+        assert exc.indices is None
+
+    def test_verification_error_carries_report(self):
+        report = object()
+        exc = VerificationError("bad", report=report)
+        assert exc.report is report
+
+    def test_fallback_exhausted_attempts(self):
+        exc = FallbackExhausted("all failed", attempts=[1, 2])
+        assert exc.attempts == [1, 2]
+        assert FallbackExhausted("none").attempts == []
+
+    def test_backend_fault_backend(self):
+        assert BackendFault("boom", backend="torch").backend == "torch"

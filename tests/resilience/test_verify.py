@@ -1,0 +1,142 @@
+"""Numerical-health verification: healthy results pass, poisoned results
+are caught by the right check."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.backend import ExecutionContext
+from repro.resilience import (
+    VerificationError,
+    default_tolerances,
+    verify_evd,
+    verify_tridiag,
+)
+
+
+def goe(n: int, seed: int = 0) -> np.ndarray:
+    g = np.random.default_rng(seed).standard_normal((n, n))
+    return (g + g.T) / 2.0
+
+
+class TestTolerances:
+    def test_scale_with_n(self):
+        tr32, to32 = default_tolerances(32)
+        tr64, to64 = default_tolerances(64)
+        assert tr64 == pytest.approx(2 * tr32)
+        assert to64 == pytest.approx(2 * to32)
+
+    def test_floor_at_n_one(self):
+        assert default_tolerances(0) == default_tolerances(1)
+
+
+class TestVerifyEVD:
+    def test_healthy_pipeline_result_passes(self):
+        A = goe(48, seed=1)
+        res = repro.eigh(A)
+        report = verify_evd(A, res)
+        assert report.ok and report.failures == []
+        assert report.residual is not None and report.residual < report.tol_residual
+        assert report.orth_error is not None and report.orth_error < report.tol_orth
+        assert report.raise_if_failed() is report
+
+    def test_eigenvalues_only_checks_trace(self):
+        A = goe(40, seed=2)
+        res = repro.eigh(A, compute_vectors=False)
+        report = verify_evd(A, res)
+        assert report.ok
+        assert report.residual is None and report.orth_error is None
+        assert "trace" in report.checks and report.checks["trace"]
+
+    def test_nan_payload_fails_finite_and_short_circuits(self):
+        A = goe(24, seed=3)
+        res = repro.eigh(A)
+        V = res.eigenvectors.copy()
+        V[3, 5] = np.nan
+        res.eigenvectors = V
+        report = verify_evd(A, res)
+        assert not report.ok and report.failures == ["finite"]
+        assert report.residual is None  # later checks skipped on NaN
+        with pytest.raises(VerificationError) as info:
+            report.raise_if_failed()
+        assert info.value.report is report
+
+    def test_unordered_eigenvalues_fail(self):
+        A = goe(16, seed=4)
+        res = repro.eigh(A)
+        res.eigenvalues = np.ascontiguousarray(res.eigenvalues[::-1])
+        res.eigenvectors = np.ascontiguousarray(res.eigenvectors[:, ::-1])
+        report = verify_evd(A, res)
+        assert "ordered" in report.failures
+
+    def test_wrong_vectors_fail_residual_and_orthogonality(self):
+        A = goe(24, seed=5)
+        res = repro.eigh(A)
+        V = res.eigenvectors.copy()
+        V[:, 0] = V[:, 0] + 0.5
+        res.eigenvectors = V
+        report = verify_evd(A, res)
+        assert not report.ok
+        assert "residual" in report.failures
+        assert "orthogonality" in report.failures
+
+    def test_wrong_spectrum_fails_trace(self):
+        A = goe(24, seed=6)
+        res = repro.eigh(A, compute_vectors=False)
+        res.eigenvalues = res.eigenvalues + 1.0
+        report = verify_evd(A, res)
+        assert "trace" in report.failures
+
+    def test_explicit_tolerances_override_defaults(self):
+        A = goe(24, seed=7)
+        res = repro.eigh(A)
+        strict = verify_evd(A, res, tol_residual=1e-30, tol_orth=1e-30)
+        assert not strict.ok
+        loose = verify_evd(A, res, tol_residual=1.0, tol_orth=1.0)
+        assert loose.ok
+
+    def test_emits_stage_event_through_context(self):
+        A = goe(16, seed=8)
+        res = repro.eigh(A)
+        stages = []
+        ctx = ExecutionContext(
+            backend="numpy",
+            hooks=[lambda ev: stages.append((ev.stage, ev.phase))],
+        )
+        verify_evd(A, res, ctx=ctx)
+        assert ("verify_evd", "end") in stages
+
+    def test_to_dict_round_trip_fields(self):
+        A = goe(12, seed=9)
+        report = verify_evd(A, repro.eigh(A))
+        d = report.to_dict()
+        assert d["kind"] == "evd" and d["n"] == 12 and d["ok"]
+        assert set(d["checks"]) == {
+            "finite", "ordered", "trace", "residual", "orthogonality"
+        }
+
+
+class TestVerifyTridiag:
+    def test_healthy_factorization_passes(self):
+        A = goe(40, seed=10)
+        tri = repro.tridiagonalize(A)
+        report = verify_tridiag(A, tri)
+        assert report.ok, report.failures
+        assert report.kind == "tridiag"
+        assert report.residual < report.tol_residual
+
+    def test_corrupted_diagonal_fails(self):
+        A = goe(32, seed=11)
+        tri = repro.tridiagonalize(A)
+        d = np.array(tri.d, copy=True)
+        d[0] = np.nan
+        tri.d = d
+        assert verify_tridiag(A, tri).failures == ["finite"]
+
+    def test_wrong_matrix_fails_residual(self):
+        A = goe(32, seed=12)
+        tri = repro.tridiagonalize(A)
+        report = verify_tridiag(goe(32, seed=99), tri)
+        assert "residual" in report.failures

@@ -93,7 +93,13 @@ class TestServiceMetrics:
             "submitted", "completed", "failed", "rejected", "cancelled",
             "cache_hits_at_submit", "coalesced", "batches", "stacked_batches",
             "latency_s", "queue_wait_s", "batch_sizes",
-            "queue_depth_at_dequeue", "stage_times",
+            "queue_depth_at_dequeue", "stage_times", "resilience",
+        }
+        assert set(snap["resilience"]) == {
+            "verifications", "verification_failures", "escalations",
+            "fallback_exhausted", "worker_crashes", "worker_respawns",
+            "crash_requeues", "deadline_expired", "backend_faults",
+            "breaker_fallbacks", "residuals", "orth_errors",
         }
         assert snap["submitted"] == 1
         assert snap["latency_s"]["count"] == 1

@@ -128,3 +128,80 @@ class TestCacheStillGeneric:
         cache.put(key, Dummy())
         assert cache.get(key) is not None
         assert cache.stats()["hits"] == 1
+
+
+class TestEscalatedResultsNeverPoisonTheCache:
+    """Satellite regression (PR 8): a failed or fallback-escalated result
+    must never be cached under the original plan's cache token — the
+    escalated bits belong to a different pipeline."""
+
+    def _dummy(self, n=6):
+        class Dummy:
+            eigenvalues = np.zeros(n)
+            eigenvectors = None
+            tridiag = None
+
+        return Dummy()
+
+    def test_put_refuses_escalated_stores(self):
+        cache = ResultCache(max_entries=4)
+        A = goe(6)
+        key = plan_cache_key(A, plan_evd(6, "proposed"))
+        cache.put(key, self._dummy(), escalated=True)
+        assert cache.get(key) is None
+        assert len(cache) == 0
+        assert cache.stats()["escalated_rejections"] == 1
+
+    def test_put_escalated_keys_under_producing_plan(self):
+        cache = ResultCache(max_entries=4)
+        A = goe(6)
+        producer = plan_cache_key(A, plan_evd(6, "dense"))
+        cache.put_escalated(producer, self._dummy())
+        entry = cache.get_entry(producer)
+        assert entry is not None and entry.escalated
+        assert cache.get(producer) is entry.result
+
+    def test_failed_solve_is_never_cached(self):
+        import repro
+        from repro.resilience import (
+            FaultSpec,
+            VerificationError,
+            clear_faults,
+            injected_faults,
+        )
+
+        A = goe(24, seed=20)
+        try:
+            with SolverService(ServiceConfig(workers=1)) as svc:
+                with injected_faults(FaultSpec("runner.result", "nan", times=1)):
+                    with pytest.raises(VerificationError):
+                        svc.submit(A, method="proposed").result(timeout=60)
+                assert svc.stats()["cache"]["entries"] == 0
+                # Faults off: same submission recomputes and caches the
+                # healthy bits.
+                got = svc.submit(A, method="proposed").result(timeout=60)
+                assert svc.stats()["cache"]["entries"] == 1
+        finally:
+            clear_faults()
+        ref = repro.eigh(A, method="proposed")
+        np.testing.assert_array_equal(got.eigenvalues, ref.eigenvalues)
+
+    def test_escalated_service_result_rekeys_under_producer(self):
+        import repro
+        from repro.resilience import FaultSpec, clear_faults, injected_faults
+
+        A = goe(32, seed=21)
+        try:
+            with SolverService(ServiceConfig(workers=1)) as svc:
+                with injected_faults(FaultSpec("dc.merge", "convergence", times=1)):
+                    svc.submit(A, fallback="chain").result(timeout=60)
+                stats = svc.stats()["cache"]
+                assert stats["escalated_rejections"] == 1
+                assert stats["entries"] == 1  # only the producing key
+                # A direct dense submission replays the escalated entry.
+                dense_hit = svc.submit(A, method="dense").result(timeout=60)
+                assert svc.stats()["cache"]["hits"] >= 1
+        finally:
+            clear_faults()
+        ref = repro.eigh(A, method="dense")
+        np.testing.assert_array_equal(dense_hit.eigenvalues, ref.eigenvalues)

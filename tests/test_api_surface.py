@@ -20,6 +20,21 @@ PUBLIC_API = {
         "SolverService", "ServiceConfig",
         "EVDResult", "TridiagResult", "__version__",
         "EVDPlan", "PlanError", "plan_evd", "execute_plan", "explain_plan",
+        "ReproError", "ConvergenceError", "VerificationError",
+        "verify_evd", "verify_tridiag", "execute_plan_with_fallback",
+    ],
+    "repro.resilience": [
+        "ReproError", "ConvergenceError", "VerificationError",
+        "WorkerCrashError", "DeadlineExceeded", "BackendFault",
+        "FallbackExhausted", "FaultInjectionError", "InjectedWorkerCrash",
+        "VerificationReport", "verify_evd", "verify_tridiag",
+        "default_tolerances",
+        "FAULT_SITES", "FAULT_KINDS", "FaultSpec", "FaultPlan",
+        "install_faults", "clear_faults", "injected_faults", "active_plan",
+        "faults_from_env", "parse_fault_specs", "maybe_raise", "maybe_corrupt",
+        "CircuitBreaker", "BreakerRegistry",
+        "EscalationRecord", "FallbackOutcome",
+        "resolve_fallback_chain", "execute_plan_with_fallback",
     ],
     "repro.plan": [
         "EVDPlan", "TridiagConfig", "BulgeChaseConfig", "SolverConfig",
@@ -42,6 +57,7 @@ PUBLIC_API = {
         "blocked_q1_blocks", "apply_q1_blocked",
         "tridiagonalize", "eigh", "eigh_partial", "eigh_stacked",
         "auto_params", "save_tridiag", "load_tridiag",
+        "save_evd", "load_evd",
         "matrix_fingerprint", "check_symmetric",
         "SymmetryError", "NonSquareError", "NonFiniteError",
         "EmptyMatrixError",
@@ -80,6 +96,7 @@ PUBLIC_API = {
     ],
     "repro.serve": [
         "SolverService", "ServiceConfig", "ServiceMetrics", "ResultCache",
+        "CacheEntry",
         "RequestQueue", "BatchPolicy", "make_cache_key", "plan_cache_key",
         "ServiceClosed", "ServiceOverloaded", "SubmitTimeout",
         "WorkloadSpec", "make_workload", "run_loadgen",
@@ -97,7 +114,8 @@ def test_documented_names_exist(module_name):
 @pytest.mark.parametrize(
     "module_name",
     ["repro", "repro.core", "repro.eig", "repro.band", "repro.gpusim",
-     "repro.models", "repro.bench", "repro.serve", "repro.plan"],
+     "repro.models", "repro.bench", "repro.serve", "repro.plan",
+     "repro.resilience"],
 )
 def test_all_lists_are_importable(module_name):
     mod = importlib.import_module(module_name)
