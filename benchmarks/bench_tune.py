@@ -1,0 +1,189 @@
+"""Model-tuned vs store-tuned planning — the autotuning payoff check.
+
+For each size the benchmark runs a real measurement-driven search
+(:func:`repro.tune.search`), records the winner in an in-memory
+:class:`~repro.tune.TuningStore`, then re-measures — with fresh
+contexts, same seeded workload — the plan ``tuning="model"`` picks and
+the plan the store record resolves to.  ``[measured]`` wall time only.
+Acceptance gate: at the headline size the store-tuned plan is **no
+slower than the model-tuned plan beyond the measurement noise guard**
+(the tuned candidate was picked *because* it measured fastest; the gate
+allows the re-measurement to jitter by the larger of the two CVs plus a
+floor).
+
+Run directly (CI smoke mode finishes in under a minute):
+
+    PYTHONPATH=src python benchmarks/bench_tune.py [--smoke]
+
+Writes ``benchmarks/out/BENCH_tune.json`` (full mode only, or with
+``--json`` forced) so the headline number is a checked-in artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+
+from repro.bench.reporting import banner, print_table, write_json_artifact
+from repro.plan import plan_evd
+from repro.tune import (
+    MeasureProtocol,
+    TuningStore,
+    measure_plan,
+    search,
+)
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+FULL_NS = [256, 512, 1024]
+SMOKE_NS = [64, 96]
+METHOD = "proposed"
+HEADLINE_N = {True: SMOKE_NS[-1], False: FULL_NS[-1]}  # smoke -> n
+NOISE_FLOOR = 0.05  # minimum relative slack the gate always allows
+
+# Top-level keys every BENCH_tune.json must carry (CI smoke gate).
+ARTIFACT_SCHEMA_KEYS = [
+    "name",
+    "generated_at",
+    "environment",
+    "provenance",
+    "reps",
+    "smoke",
+    "headline",
+    "cases",
+]
+
+
+def run_case(n: int, reps: int, budget: int) -> dict:
+    """Search at size ``n``, then re-measure model vs store-tuned plans."""
+    protocol = MeasureProtocol(reps=reps, trim=1 if reps > 2 else 0)
+    store = TuningStore()  # in-memory: the benchmark must not touch ~/.cache
+    result = search(
+        n, METHOD, budget=budget, protocol=protocol, store=store, save=False
+    )
+    record = store.get(result.store_key)
+
+    model_plan = plan_evd(n, METHOD, tuning="model")
+    tuned_plan = plan_evd(n, result.method, **record.knobs)
+    # The stored knobs must spell the searched winner exactly.
+    assert tuned_plan.cache_token() == result.best_pipeline.cache_token
+
+    model_m = measure_plan(model_plan, protocol)
+    tuned_m = measure_plan(tuned_plan, protocol)
+
+    noise = max(model_m.cv, tuned_m.cv, NOISE_FLOOR)
+    within_guard = tuned_m.time_s <= model_m.time_s * (1.0 + noise)
+    return {
+        "n": n,
+        "method": result.method,
+        "strategy": result.strategy,
+        "space_size": result.space_size,
+        "candidates_measured": len(result.trials),
+        "tuned_knobs": record.knobs,
+        "model_knobs": {
+            "bandwidth": model_plan.tridiag.bandwidth,
+            "second_block": model_plan.tridiag.second_block,
+        },
+        "model_s": model_m.time_s,
+        "tuned_s": tuned_m.time_s,
+        "model_cv": model_m.cv,
+        "tuned_cv": tuned_m.cv,
+        "speedup": model_m.time_s / tuned_m.time_s,
+        "noise_allowance": noise,
+        "tuned_within_noise_guard": within_guard,
+    }
+
+
+def run(
+    smoke: bool = False,
+    reps: int = 3,
+    budget: int = 24,
+    write_json: bool | None = None,
+) -> dict:
+    ns = SMOKE_NS if smoke else FULL_NS
+    print(banner("Model-tuned vs store-tuned EVD plans", "measured"))
+    rows = [run_case(n, reps, budget) for n in ns]
+
+    print_table(
+        ["n", "strategy", "measured", "model", "tuned", "speedup", "guard"],
+        [
+            [
+                r["n"],
+                r["strategy"],
+                f"{r['candidates_measured']}/{r['space_size']}",
+                f"{r['model_s'] * 1e3:8.1f} ms",
+                f"{r['tuned_s'] * 1e3:8.1f} ms",
+                f"{r['speedup']:5.2f}x",
+                "ok" if r["tuned_within_noise_guard"] else "VIOLATED",
+            ]
+            for r in rows
+        ],
+    )
+
+    headline = next(r for r in rows if r["n"] == HEADLINE_N[smoke])
+    payload = {
+        "provenance": "measured",
+        "reps": reps,
+        "budget": budget,
+        "smoke": smoke,
+        "method": METHOD,
+        "headline": {
+            "n": headline["n"],
+            "backend": "numpy",
+            "model_s": headline["model_s"],
+            "tuned_s": headline["tuned_s"],
+            "speedup": headline["speedup"],
+            "noise_allowance": headline["noise_allowance"],
+            "tuned_within_noise_guard": headline["tuned_within_noise_guard"],
+        },
+        "cases": rows,
+    }
+    if write_json if write_json is not None else not smoke:
+        path = write_json_artifact(OUT_DIR, "tune", payload)
+        print(f"artifact: {path}")
+    print(
+        f"headline: n={headline['n']} store-tuned {headline['tuned_s'] * 1e3:.1f} ms "
+        f"vs model {headline['model_s'] * 1e3:.1f} ms "
+        f"({headline['speedup']:.2f}x, noise allowance "
+        f"{headline['noise_allowance'] * 100:.0f}%) -> "
+        f"{'ok' if headline['tuned_within_noise_guard'] else 'VIOLATED'}"
+    )
+    return payload
+
+
+def test_tuned_not_slower_smoke(report):
+    """Benchmark-suite entry: even at smoke scale the store-tuned plan
+    must hold its measured advantage over the model pick within the
+    noise guard."""
+    r = run_case(SMOKE_NS[-1], reps=3, budget=16)
+    report(
+        f"n={r['n']}: model {r['model_s'] * 1e3:.1f} ms, tuned "
+        f"{r['tuned_s'] * 1e3:.1f} ms ({r['speedup']:.2f}x, "
+        f"allowance {r['noise_allowance'] * 100:.0f}%)"
+    )
+    assert r["tuned_within_noise_guard"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small cases only, no JSON artifact (CI gate)",
+    )
+    ap.add_argument("--reps", type=int, default=3, help="timed repetitions")
+    ap.add_argument("--budget", type=int, default=24,
+                    help="max unique candidates measured per size")
+    ap.add_argument(
+        "--json",
+        action="store_true",
+        help="write the JSON artifact even in smoke mode",
+    )
+    args = ap.parse_args(argv)
+    run(smoke=args.smoke, reps=args.reps, budget=args.budget,
+        write_json=args.json or None)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,9 +43,17 @@ Public API highlights
 ``repro.gpusim`` / ``repro.models``
     The calibrated GPU performance simulator and the analytical models
     that regenerate the paper's tables and figures at device scale.
+``repro.tune``
+    Empirical autotuning with a persistent per-device tuning database:
+    ``repro tune search`` measures candidate configurations (seeded
+    workloads, CV-guarded timing, model-pruned search) and records the
+    winner; ``eigh(A, tuning="auto")`` / ``plan_evd(..., tuning="auto")``
+    consult the store (falling back to ``"model"`` on a miss) without
+    ever changing ``cache_token`` identity or result bits relative to
+    the explicit knob spelling.
 """
 
-from . import backend, band, core, eig, plan, resilience, serve
+from . import backend, band, core, eig, plan, resilience, serve, tune
 from .backend import (
     ArrayBackend,
     BackendUnavailable,
@@ -77,6 +85,7 @@ from .resilience import (
     verify_tridiag,
 )
 from .serve import ServiceConfig, SolverService
+from .tune import TuneStoreError, TuningStore, tuned_service_config
 
 __version__ = "1.0.0"
 
@@ -120,5 +129,9 @@ __all__ = [
     "SolverService",
     "tridiag_qr_eigh",
     "tridiagonalize",
+    "tune",
+    "tuned_service_config",
+    "TuneStoreError",
+    "TuningStore",
     "__version__",
 ]

@@ -15,7 +15,12 @@ result is a frozen :class:`~repro.plan.EVDPlan` that
 models (:mod:`repro.models` / :mod:`repro.gpusim`) to choose the DBBR
 ``(b, k)`` pair minimizing the predicted band-reduction + bulge-chasing
 time on a named device, instead of the scale-based ``auto_params``
-heuristic.
+heuristic.  ``tuning="auto"`` goes one step further and consults the
+*measured* per-device tuning database (:mod:`repro.tune`): a store hit
+fills whatever knobs the caller left unset, a miss falls back to
+``"model"`` — read-only either way, and always resolving into the same
+frozen plan fields (and ``cache_token``) the explicit knob spelling
+would produce.
 """
 
 from __future__ import annotations
@@ -53,7 +58,7 @@ SECULAR_MODES = ("batched", "scalar")
 BC_DRIVERS = ("wavefront", "pipelined")
 BACK_TRANSFORMS = ("incremental", "blocked", "recursive")
 SYR2K_KINDS = ("square", "rect", "reference")
-TUNINGS = ("manual", "model")
+TUNINGS = ("manual", "model", "auto")
 FALLBACKS = ("none", "chain")
 
 #: Every pipeline knob ``plan_evd``/``eigh`` accept beyond the named
@@ -194,6 +199,35 @@ def _resolve_pipeline(
     return tridiag, bulge, back
 
 
+def _store_tuned_knobs(n: int, method: str, backend: str) -> dict[str, Any] | None:
+    """The persistent tuning database's knobs for this problem, or
+    ``None`` on a miss (which :mod:`repro.tune` records in its stats).
+
+    Strictly read-only — ``tuning="auto"`` never touches the filesystem
+    beyond reading the database, and a missing or corrupt database is
+    just a miss.  Knobs are filtered to the known pipeline surface so a
+    record written by a newer build cannot smuggle in an unknown knob.
+    """
+    from ..tune.store import lookup_tuned_knobs
+
+    tuned = lookup_tuned_knobs(n, method, backend=backend)
+    if not tuned:
+        return None
+    return {k: v for k, v in tuned.items() if k in PIPELINE_KNOBS}
+
+
+def _resolve_auto_tuning(
+    n: int, method: str, knobs: dict[str, Any], backend: str
+) -> tuple[dict[str, Any], str]:
+    """Resolve ``tuning="auto"``: on a store hit, fill unset knobs from
+    the tuned record and proceed as the explicit (``"manual"``)
+    spelling; on a miss, fall back to the ``"model"`` strategy."""
+    tuned = _store_tuned_knobs(n, method, backend)
+    if tuned is None:
+        return knobs, "model"
+    return {**tuned, **knobs}, "manual"
+
+
 def _model_tuned_dbbr(n: int, device: str) -> tuple[int | None, int | None]:
     """Pick the DBBR ``(b, k)`` minimizing the calibrated model's
     band-reduction + bulge-chasing time on ``device``.
@@ -242,6 +276,8 @@ def plan_tridiag(
     if tuning not in TUNINGS:
         raise bad_choice("tuning", tuning, TUNINGS)
     _check_unknown(knobs)
+    if tuning == "auto":
+        knobs, tuning = _resolve_auto_tuning(int(n), method, dict(knobs), "numpy")
     return _resolve_pipeline(n, method, knobs, tuning, device)
 
 
@@ -267,7 +303,10 @@ def plan_evd(
     ``pipelined``, ``bc_driver``, ``max_sweeps``, ``syr2k_kind``,
     ``direct_block``, ``back_transform``, ``back_transform_group``).
     ``tuning="model"`` lets the calibrated cost models pick the DBBR
-    ``(b, k)`` for ``device`` where the caller left them unset.
+    ``(b, k)`` for ``device`` where the caller left them unset;
+    ``tuning="auto"`` first consults the persistent per-device tuning
+    database (:mod:`repro.tune`, ``$REPRO_TUNE_DB``) and falls back to
+    ``"model"`` on a miss.
     ``fallback="chain"`` marks the plan for escalated execution
     (:func:`repro.resilience.execute_plan_with_fallback`): on a typed
     convergence or verification failure the dense LAPACK tier and then
@@ -320,8 +359,17 @@ def plan_evd(
     else:
         merged = dict(knobs)
         raw_method = method
+    resolve_tuning = tuning
+    if tuning == "auto":
+        # Store hit: tuned knobs fill whatever the preset and the caller
+        # left unset (explicit knobs always win), and resolution proceeds
+        # exactly as the explicit spelling — same clamps, same frozen
+        # fields, same cache_token.  Miss: pure fallback to "model".
+        merged, resolve_tuning = _resolve_auto_tuning(n, raw_method, merged, backend)
     solver_cfg = make_solver_config(solver, compute_vectors, secular_mode)
-    tridiag, bulge, back = _resolve_pipeline(n, raw_method, merged, tuning, device)
+    tridiag, bulge, back = _resolve_pipeline(
+        n, raw_method, merged, resolve_tuning, device
+    )
     return EVDPlan(
         n=n,
         method=method,

@@ -1,0 +1,104 @@
+"""``repro.tune`` — empirical autotuning with a persistent per-device
+tuning database.
+
+The analytic cost models (:mod:`repro.models` / :mod:`repro.gpusim`)
+predict; this subsystem *measures*.  Four pieces compose the loop:
+
+* :mod:`~repro.tune.space` — the candidate space, derived from the plan
+  layer's own validation rules so every candidate is a valid
+  :class:`~repro.plan.EVDPlan`;
+* :mod:`~repro.tune.measure` — the measurement protocol (seeded
+  workloads, warmup, trimmed repeats, CV noise guard);
+* :mod:`~repro.tune.search` — exhaustive search for small grids,
+  model-pruned coordinate descent for large ones;
+* :mod:`~repro.tune.store` — the schema-versioned, atomically-written,
+  corruption-tolerant JSON :class:`TuningStore`, keyed by (n-bucket,
+  method, backend, device fingerprint, dtype), ``$REPRO_TUNE_DB``
+  overridable.
+
+Consumption is one knob: ``plan_evd(..., tuning="auto")`` (and therefore
+``eigh(A, tuning="auto")``) consults the store and falls back to the
+``"model"`` strategy on a miss (counted in :func:`tune_stats`; strictly
+read-only).  Tuned knobs resolve into the same frozen plan fields an
+explicit caller would spell, so ``cache_token()`` identity and result
+bits are untouched by tuning — regression-enforced.  The serving layer
+adopts tuned batch thresholds via :func:`tuned_service_config`, and the
+``repro tune`` CLI (``search`` / ``show`` / ``export`` / ``import``)
+drives the whole loop.  See ``docs/tuning.md``.
+"""
+
+from .integration import tuned_service_config
+from .measure import (
+    DEFAULT_PROTOCOL,
+    Measurement,
+    MeasureProtocol,
+    measure_callable,
+    measure_plan,
+    workload_matrix,
+)
+from .search import (
+    SearchResult,
+    ServeThresholdResult,
+    Trial,
+    model_candidate,
+    search,
+    search_serve_threshold,
+)
+from .space import (
+    Candidate,
+    candidate_plan,
+    candidates,
+    default_candidate,
+    evd_candidates,
+    resolve_method,
+    serve_threshold_candidates,
+)
+from .store import (
+    SCHEMA_VERSION,
+    TuneRecord,
+    TuneStoreError,
+    TuneStoreWarning,
+    TuningStore,
+    default_db_path,
+    device_fingerprint,
+    lookup_tuned_knobs,
+    n_bucket,
+    record_key,
+    reset_tune_stats,
+    tune_stats,
+)
+
+__all__ = [
+    "Candidate",
+    "DEFAULT_PROTOCOL",
+    "MeasureProtocol",
+    "Measurement",
+    "SCHEMA_VERSION",
+    "SearchResult",
+    "ServeThresholdResult",
+    "Trial",
+    "TuneRecord",
+    "TuneStoreError",
+    "TuneStoreWarning",
+    "TuningStore",
+    "candidate_plan",
+    "candidates",
+    "default_candidate",
+    "default_db_path",
+    "device_fingerprint",
+    "evd_candidates",
+    "lookup_tuned_knobs",
+    "measure_callable",
+    "measure_plan",
+    "model_candidate",
+    "n_bucket",
+    "record_key",
+    "reset_tune_stats",
+    "resolve_method",
+    "search",
+    "search_serve_threshold",
+    "serve_threshold_candidates",
+    "tune_stats",
+    "tuned_service_config",
+    "workload_matrix",
+]

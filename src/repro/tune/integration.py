@@ -1,0 +1,62 @@
+"""Adoption points: where tuned knobs flow into the rest of the stack.
+
+The plan layer consumes the store directly
+(``plan_evd(..., tuning="auto")`` — see :mod:`repro.plan.planner`); this
+module covers the serving layer, whose batching thresholds live in
+:class:`repro.serve.ServiceConfig` rather than in a plan.  The helper is
+pull-based and side-effect-free: it reads the store and returns a new
+config, so adopting tuned thresholds is an explicit, visible call at
+service construction — never something that mutates a running service.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import TYPE_CHECKING, Any
+
+from .store import TuningStore
+
+if TYPE_CHECKING:  # pragma: no cover - avoid a hard serve dependency
+    from ..serve.service import ServiceConfig
+
+__all__ = ["tuned_service_config"]
+
+#: ServiceConfig fields the serve tuning record may override.
+SERVE_TUNABLE_KNOBS = ("dense_fastpath_max_n", "max_batch", "batch_window_s")
+
+
+def tuned_service_config(
+    config: "ServiceConfig | None" = None,
+    *,
+    path: str | os.PathLike[str] | None = None,
+    store: TuningStore | None = None,
+) -> "ServiceConfig":
+    """A :class:`~repro.serve.ServiceConfig` with this machine's tuned
+    batching thresholds applied.
+
+    Starts from ``config`` (or the defaults), looks up the ``"serve"``
+    record for the config's backend in ``store`` (or the database at
+    ``path`` / ``$REPRO_TUNE_DB``), and overrides only the recognized
+    threshold knobs the record carries — a tuned
+    ``dense_fastpath_max_n`` of 0 maps to ``None`` (never promote),
+    matching the config's own convention.  With no record the config
+    comes back unchanged, so this is always safe to call.
+    """
+    from ..serve.service import ServiceConfig
+
+    base = config if config is not None else ServiceConfig()
+    src = store if store is not None else TuningStore.load(path)
+    record = src.lookup(1, "serve", base.backend)
+    if record is None:
+        return base
+    overrides: dict[str, Any] = {}
+    for knob in SERVE_TUNABLE_KNOBS:
+        if knob in record.knobs:
+            value = record.knobs[knob]
+            if knob == "dense_fastpath_max_n":
+                value = int(value) or None
+            overrides[knob] = value
+    if not overrides:
+        return base
+    return dataclasses.replace(base, **overrides)

@@ -1,0 +1,200 @@
+"""The measurement protocol behind every tuning decision.
+
+Timing-based decisions are only as good as the timings, so measurement
+is a protocol, not a bare ``perf_counter`` pair: a seeded workload
+(:mod:`repro.bench.workloads`, so every candidate times the *same*
+matrix), warmup runs to fill workspace pools and caches, trimmed
+repeats, and a coefficient-of-variation noise guard that re-measures a
+jittery sample batch instead of letting one preempted run pick the
+wrong knobs.  Built on the same primitives as
+:mod:`repro.bench.timing`, extended with the guard the autotuner needs.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..backend.context import ExecutionContext, resolve_context
+from ..bench.workloads import goe, symmetric_with_spectrum, uniform_spectrum
+from ..plan.config import EVDPlan
+from ..plan.errors import bad_choice
+from ..plan.runner import execute_plan
+
+__all__ = [
+    "DEFAULT_PROTOCOL",
+    "MeasureProtocol",
+    "Measurement",
+    "measure_callable",
+    "measure_plan",
+    "workload_matrix",
+]
+
+WORKLOADS = ("goe", "uniform")
+
+
+@dataclass(frozen=True)
+class MeasureProtocol:
+    """How one candidate is timed.
+
+    Attributes
+    ----------
+    warmup : int
+        Untimed runs before sampling (fills workspace-pool high-water
+        marks, backend caches, branch predictors).
+    reps : int
+        Timed repetitions per attempt.
+    trim : int
+        Samples dropped from *each* tail of the sorted attempt before
+        averaging (applied only when ``reps > 2 * trim``) — one
+        scheduler hiccup cannot skew the mean.
+    cv_threshold : float
+        Accepted coefficient of variation (stddev / mean) of the
+        trimmed samples.  A noisier attempt is re-measured.
+    max_remeasure : int
+        Extra attempts allowed when the guard trips; if every attempt
+        is noisy the best (lowest-CV) one is kept and flagged.
+    seed : int
+        Workload generator seed — every candidate times the same bits.
+    workload : {"goe", "uniform"}
+        Matrix family (:func:`workload_matrix`).
+    """
+
+    warmup: int = 1
+    reps: int = 5
+    trim: int = 1
+    cv_threshold: float = 0.25
+    max_remeasure: int = 2
+    seed: int = 1234
+    workload: str = "goe"
+
+    def __post_init__(self) -> None:
+        if self.warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {self.warmup}")
+        if self.reps < 1:
+            raise ValueError(f"reps must be >= 1, got {self.reps}")
+        if self.trim < 0:
+            raise ValueError(f"trim must be >= 0, got {self.trim}")
+        if self.max_remeasure < 0:
+            raise ValueError(f"max_remeasure must be >= 0, got {self.max_remeasure}")
+        if self.workload not in WORKLOADS:
+            raise bad_choice("measurement workload", self.workload, WORKLOADS)
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+DEFAULT_PROTOCOL = MeasureProtocol()
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One candidate's timing evidence.
+
+    ``time_s`` (the trimmed mean of the accepted attempt) is what the
+    search ranks by; ``best_s`` is the historical best-of metric;
+    ``noisy`` marks a measurement that never met the CV guard even
+    after re-measuring — comparisons against it deserve a margin.
+    """
+
+    time_s: float
+    best_s: float
+    cv: float
+    samples: tuple[float, ...] = ()
+    attempts: int = 1
+    noisy: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        out = asdict(self)
+        out["samples"] = list(self.samples)
+        return out
+
+
+@dataclass
+class _Attempt:
+    mean: float
+    best: float
+    cv: float
+    samples: tuple[float, ...] = field(default_factory=tuple)
+
+
+def _run_attempt(
+    fn: Callable[[], object],
+    protocol: MeasureProtocol,
+    clock: Callable[[], float],
+) -> _Attempt:
+    samples = []
+    for _ in range(protocol.reps):
+        t0 = clock()
+        fn()
+        samples.append(clock() - t0)
+    kept = sorted(samples)
+    if len(kept) > 2 * protocol.trim:
+        kept = kept[protocol.trim : len(kept) - protocol.trim] if protocol.trim else kept
+    mean = sum(kept) / len(kept)
+    spread = statistics.pstdev(kept) if len(kept) > 1 else 0.0
+    cv = spread / mean if mean > 0 else 0.0
+    return _Attempt(mean=mean, best=min(samples), cv=cv, samples=tuple(samples))
+
+
+def measure_callable(
+    fn: Callable[[], object],
+    protocol: MeasureProtocol = DEFAULT_PROTOCOL,
+    clock: Callable[[], float] = time.perf_counter,
+) -> Measurement:
+    """Time ``fn`` under the protocol (warmup, trimmed repeats, CV-guarded
+    re-measurement).  ``clock`` is injectable so the guard logic is
+    testable with a deterministic fake."""
+    for _ in range(protocol.warmup):
+        fn()
+    best: _Attempt | None = None
+    attempts = 0
+    for attempts in range(1, protocol.max_remeasure + 2):
+        attempt = _run_attempt(fn, protocol, clock)
+        if best is None or attempt.cv < best.cv:
+            best = attempt
+        if attempt.cv <= protocol.cv_threshold:
+            break
+    assert best is not None
+    return Measurement(
+        time_s=best.mean,
+        best_s=best.best,
+        cv=best.cv,
+        samples=best.samples,
+        attempts=attempts,
+        noisy=best.cv > protocol.cv_threshold,
+    )
+
+
+def workload_matrix(n: int, protocol: MeasureProtocol = DEFAULT_PROTOCOL) -> np.ndarray:
+    """The seeded symmetric test matrix every candidate is timed on."""
+    if protocol.workload == "uniform":
+        A = symmetric_with_spectrum(uniform_spectrum(n), seed=protocol.seed)
+        # Q diag(w) Q^T is symmetric only to rounding; the pipeline's
+        # bit-exactness contract wants an exactly symmetric input.
+        return (A + A.T) / 2
+    return goe(n, seed=protocol.seed)
+
+
+def measure_plan(
+    plan: EVDPlan,
+    protocol: MeasureProtocol = DEFAULT_PROTOCOL,
+    A: np.ndarray | None = None,
+    ctx: ExecutionContext | None = None,
+) -> Measurement:
+    """Measure one resolved plan end to end on its seeded workload.
+
+    A fresh :class:`ExecutionContext` per measurement (unless one is
+    passed) keeps candidates from inheriting each other's workspace
+    high-water marks; the warmup run then amortizes the pool fill
+    exactly as a long-lived serving worker would.
+    """
+    matrix = workload_matrix(plan.n, protocol) if A is None else A
+    context = ctx if ctx is not None else resolve_context(plan.backend)
+    return measure_callable(
+        lambda: execute_plan(matrix, plan, ctx=context), protocol
+    )

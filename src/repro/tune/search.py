@@ -1,0 +1,402 @@
+"""Search strategies over the tuning space.
+
+Two regimes, chosen by grid size against the measurement ``budget``:
+
+* **exhaustive** — small grids are simply all measured; no model can
+  mislead a search that times everything.
+* **model-pruned coordinate descent** — large grids are first ranked by
+  the calibrated analytical cost models (:mod:`repro.models` via
+  :func:`repro.plan.explain.predicted_stage_times`) as a *prior*, then
+  refined by real measurements: starting from the model's pick,
+  descend one knob axis at a time (measuring only that axis's
+  neighbors) until no axis improves or the budget is spent.  The model
+  cuts the candidates that get timed; it never gets the final word —
+  only measured time does.
+
+Every search also measures the untuned default and the ``tuning="model"``
+choice, so the stored winner is *never worse than either* on the
+machine that ran the search (up to measurement noise — which is why
+measurements carry their CV).  Results are deterministic given the
+measurements: ties break on the candidate label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..plan.config import EVDPlan
+from ..plan.explain import predicted_stage_times
+from ..plan.planner import plan_evd
+from .measure import DEFAULT_PROTOCOL, Measurement, MeasureProtocol, measure_plan
+from .space import (
+    Candidate,
+    candidate_plan,
+    candidates,
+    default_candidate,
+    evd_candidates,
+    resolve_method,
+    serve_threshold_candidates,
+)
+from .store import TuneRecord, TuningStore, timestamp
+
+__all__ = [
+    "MeasureFn",
+    "SearchResult",
+    "ServeThresholdResult",
+    "Trial",
+    "model_candidate",
+    "search",
+    "search_serve_threshold",
+]
+
+#: Measures one resolved plan — injectable so searches replay recorded
+#: measurements deterministically (tests, round-trip audits).
+MeasureFn = Callable[[EVDPlan], Measurement]
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One timed candidate: what ran, its resolved identity, the
+    measurement, and the model's prior prediction (seconds; ``None``
+    when no model covers the plan, e.g. the dense tier)."""
+
+    candidate: Candidate
+    cache_token: str
+    measurement: Measurement
+    prior_s: float | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "candidate": self.candidate.label,
+            "method": self.candidate.method,
+            "knobs": self.candidate.kwargs,
+            "cache_token": self.cache_token,
+            "prior_s": self.prior_s,
+            **{f"measured_{k}": v for k, v in self.measurement.to_dict().items()},
+        }
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one :func:`search` call.
+
+    ``best`` is the fastest measured candidate overall; ``best_pipeline``
+    excludes the dense tier (it is what gets stored — the store's knobs
+    must be applicable to the searched pipeline method).  ``pruned``
+    counts candidates the model prior excluded from measurement.
+    """
+
+    n: int
+    method: str
+    backend: str
+    strategy: str
+    best: Trial
+    best_pipeline: Trial
+    trials: list[Trial] = field(default_factory=list)
+    space_size: int = 0
+    pruned: int = 0
+    record: TuneRecord | None = None
+    store_key: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "n": self.n,
+            "method": self.method,
+            "backend": self.backend,
+            "strategy": self.strategy,
+            "space_size": self.space_size,
+            "pruned": self.pruned,
+            "best": self.best.to_dict(),
+            "best_pipeline": self.best_pipeline.to_dict(),
+            "trials": [t.to_dict() for t in self.trials],
+            "store_key": self.store_key,
+        }
+
+
+def model_candidate(
+    n: int, method: str = "dbbr", backend: str = "numpy", device: str = "h100"
+) -> Candidate:
+    """What ``tuning="model"`` would run, spelled as an explicit candidate."""
+    raw = resolve_method(method)
+    plan = plan_evd(n, raw, backend=backend, tuning="model", device=device)
+    t = plan.tridiag
+    if t is None:
+        return Candidate.make("dense")
+    knobs: dict[str, Any] = {}
+    if t.method == "direct":
+        knobs["direct_block"] = t.direct_block
+    else:
+        knobs["bandwidth"] = t.bandwidth
+        if t.method == "dbbr":
+            knobs["second_block"] = t.second_block
+    return Candidate.make(raw, **knobs)
+
+
+def _prior(plan: EVDPlan, device: str) -> float | None:
+    stages = predicted_stage_times(plan, device=device)
+    if not stages:
+        return None
+    return float(sum(stages.values()))
+
+
+class _Budget:
+    """Counts unique measured candidates against the allowance."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = max(1, limit)
+        self.used = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.used >= self.limit
+
+
+def _measure_candidates(
+    n: int,
+    cands: list[Candidate],
+    backend: str,
+    device: str,
+    measure_fn: MeasureFn,
+    memo: dict[str, Trial],
+    budget: _Budget,
+) -> list[Trial]:
+    """Measure candidates (memoized on resolved cache token) until the
+    budget runs out; returns the trials for this batch in order."""
+    out: list[Trial] = []
+    for cand in cands:
+        plan = candidate_plan(n, cand, backend)
+        token = plan.cache_token()
+        trial = memo.get(token)
+        if trial is None:
+            if budget.exhausted:
+                continue
+            budget.used += 1
+            trial = Trial(
+                candidate=cand,
+                cache_token=token,
+                measurement=measure_fn(plan),
+                prior_s=_prior(plan, device),
+            )
+            memo[token] = trial
+        out.append(trial)
+    return out
+
+
+def _rank_key(trial: Trial) -> tuple[float, str]:
+    return (trial.measurement.time_s, trial.candidate.label)
+
+
+def _coordinate_descent(
+    n: int,
+    pool: list[Candidate],
+    start: Trial,
+    backend: str,
+    device: str,
+    measure_fn: MeasureFn,
+    memo: dict[str, Trial],
+    budget: _Budget,
+) -> Trial:
+    """Greedy one-axis-at-a-time descent over the candidate pool."""
+    best = start
+    improved = True
+    while improved and not budget.exhausted:
+        improved = False
+        axes = sorted(best.candidate.kwargs)
+        for axis in axes:
+            fixed = {k: v for k, v in best.candidate.knobs if k != axis}
+            neighbors = [
+                c
+                for c in pool
+                if c.method == best.candidate.method
+                and {k: v for k, v in c.knobs if k != axis} == fixed
+            ]
+            trials = _measure_candidates(
+                n, neighbors, backend, device, measure_fn, memo, budget
+            )
+            if not trials:
+                continue
+            winner = min(trials + [best], key=_rank_key)
+            if winner.cache_token != best.cache_token:
+                best = winner
+                improved = True
+    return best
+
+
+def search(
+    n: int,
+    method: str = "proposed",
+    *,
+    backend: str = "numpy",
+    budget: int = 32,
+    protocol: MeasureProtocol = DEFAULT_PROTOCOL,
+    device: str = "h100",
+    include_dense: bool = False,
+    measure_fn: MeasureFn | None = None,
+    store: TuningStore | None = None,
+    save: bool = False,
+) -> SearchResult:
+    """Tune ``method`` at size ``n`` and (optionally) record the winner.
+
+    ``budget`` caps the number of *unique* candidates measured.  When the
+    whole space fits, the search is exhaustive; otherwise the model
+    prior seeds a coordinate descent (see module docstring).  The
+    untuned default and the model's own choice are always measured.
+
+    With ``store`` given, the best *pipeline* candidate is recorded
+    under the store key for ``(n, method, backend)`` on this machine's
+    device fingerprint (``save=True`` also persists to disk).
+    """
+    raw = resolve_method(method)
+    if measure_fn is None:
+        measure_fn = lambda plan: measure_plan(plan, protocol)  # noqa: E731
+    pool = (
+        evd_candidates(n, raw, backend)
+        if include_dense
+        else candidates(n, raw, backend)
+    )
+    anchors = [default_candidate(n, raw)]
+    if raw != "dense":
+        anchors.append(model_candidate(n, raw, backend, device))
+    memo: dict[str, Trial] = {}
+    budget_box = _Budget(budget)
+
+    anchor_trials = _measure_candidates(
+        n, anchors, backend, device, measure_fn, memo, budget_box
+    )
+    if len(pool) <= budget_box.limit:
+        strategy = "exhaustive"
+        _measure_candidates(n, pool, backend, device, measure_fn, memo, budget_box)
+    else:
+        strategy = "model-pruned-descent"
+        # The model ranks the whole space for free; measurement starts
+        # from its best-predicted candidate (falling back to the model
+        # anchor when the prior covers nothing).
+        ranked = sorted(
+            pool,
+            key=lambda c: (
+                _prior(candidate_plan(n, c, backend), device) or 0.0,
+                c.label,
+            ),
+        )
+        seeds = _measure_candidates(
+            n, ranked[:1], backend, device, measure_fn, memo, budget_box
+        )
+        start = min(seeds + anchor_trials, key=_rank_key)
+        _coordinate_descent(
+            n, pool, start, backend, device, measure_fn, memo, budget_box
+        )
+        # The dense crossover candidate sits on no pipeline axis — make
+        # sure it was considered when the pool includes it.
+        dense = [c for c in pool if c.method == "dense"]
+        _measure_candidates(n, dense, backend, device, measure_fn, memo, budget_box)
+
+    trials = sorted(memo.values(), key=_rank_key)
+    best = trials[0]
+    pipeline_trials = [t for t in trials if t.candidate.method != "dense"] or trials
+    best_pipeline = pipeline_trials[0]
+
+    result = SearchResult(
+        n=n,
+        method=raw,
+        backend=backend,
+        strategy=strategy,
+        best=best,
+        best_pipeline=best_pipeline,
+        trials=trials,
+        space_size=len(pool),
+        pruned=max(0, len(pool) - budget_box.used),
+    )
+    if store is not None:
+        record = TuneRecord(
+            method=best_pipeline.candidate.method,
+            knobs=best_pipeline.candidate.kwargs,
+            time_s=best_pipeline.measurement.time_s,
+            cv=best_pipeline.measurement.cv,
+            n=n,
+            source="measured",
+            protocol=protocol.to_dict(),
+            created=timestamp(),
+        )
+        result.record = record
+        result.store_key = store.put(n, raw, backend, record)
+        if save:
+            store.save()
+    return result
+
+
+@dataclass
+class ServeThresholdResult:
+    """Measured dense-vs-pipeline crossover for the serving layer.
+
+    ``threshold`` is the largest probed size at which the dense tier
+    beat the pipeline — the tuned ``dense_fastpath_max_n`` (0 means the
+    pipeline won everywhere probed, i.e. never promote)."""
+
+    backend: str
+    threshold: int
+    probes: list[dict[str, Any]] = field(default_factory=list)
+    record: TuneRecord | None = None
+    store_key: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "backend": self.backend,
+            "threshold": self.threshold,
+            "probes": self.probes,
+            "store_key": self.store_key,
+        }
+
+
+def search_serve_threshold(
+    *,
+    backend: str = "numpy",
+    protocol: MeasureProtocol = DEFAULT_PROTOCOL,
+    sizes: list[int] | None = None,
+    measure_fn: MeasureFn | None = None,
+    store: TuningStore | None = None,
+    save: bool = False,
+) -> ServeThresholdResult:
+    """Measure where the stacked dense tier stops beating the pipeline.
+
+    Probes each candidate threshold size with both the dense plan and
+    the default pipeline plan; the crossover becomes the tuned
+    ``dense_fastpath_max_n`` a :class:`repro.serve.ServiceConfig` can
+    adopt (:func:`repro.tune.tuned_service_config`).  Stored under the
+    pseudo-method ``"serve"`` at the global ``n = 1`` bucket.
+    """
+    if measure_fn is None:
+        measure_fn = lambda plan: measure_plan(plan, protocol)  # noqa: E731
+    probe_sizes = [s for s in (sizes or serve_threshold_candidates()) if s >= 2]
+    threshold = 0
+    probes: list[dict[str, Any]] = []
+    for s in sorted(probe_sizes):
+        dense = measure_fn(plan_evd(s, "dense", backend=backend))
+        pipe = measure_fn(plan_evd(s, "proposed", backend=backend))
+        dense_wins = dense.time_s <= pipe.time_s
+        probes.append(
+            {
+                "n": s,
+                "dense_s": dense.time_s,
+                "pipeline_s": pipe.time_s,
+                "dense_wins": dense_wins,
+            }
+        )
+        if dense_wins:
+            threshold = s
+    result = ServeThresholdResult(backend=backend, threshold=threshold, probes=probes)
+    if store is not None:
+        record = TuneRecord(
+            method="serve",
+            knobs={"dense_fastpath_max_n": threshold},
+            time_s=0.0,
+            n=1,
+            source="measured",
+            protocol=protocol.to_dict(),
+            created=timestamp(),
+        )
+        result.record = record
+        result.store_key = store.put(1, "serve", backend, record)
+        if save:
+            store.save()
+    return result

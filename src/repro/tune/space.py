@@ -1,0 +1,205 @@
+"""The tuning search space, derived from the plan layer's own rules.
+
+Every candidate this module emits is, by construction *and* by
+verification, a valid :func:`repro.plan.plan_evd` call: the generators
+bake in the planner's validation and clamping rules (``b <= n - 2``,
+``b | k``, ``k <= n``, back-transform group defaulting, the dense
+crossover, the serve batch threshold), and :func:`candidate_plan` runs
+each candidate through the real planner so the search can never time a
+configuration the library would refuse — or silently re-clamp — at
+execution time.  Candidates that the planner's clamps would collapse
+onto each other are deduplicated by the resolved plan's
+``cache_token()``.
+
+The knob values are exactly what an explicit caller would spell, which
+is the root of the bit-exactness guarantee: adopting a tuned candidate
+is indistinguishable from having typed its knobs by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from ..plan.config import EVDPlan
+from ..plan.errors import PlanError, bad_choice
+from ..plan.planner import PRESETS, TRIDIAG_METHODS, auto_params, plan_evd
+
+__all__ = [
+    "BANDWIDTHS",
+    "SECOND_BLOCK_MULTS",
+    "DIRECT_BLOCKS",
+    "DENSE_CROSSOVER_MAX_N",
+    "SERVE_BATCH_THRESHOLDS",
+    "Candidate",
+    "candidate_plan",
+    "candidates",
+    "default_candidate",
+    "evd_candidates",
+    "resolve_method",
+    "serve_threshold_candidates",
+]
+
+#: DBBR/SBR block sizes worth trying (the paper's sweep, Figure 9/15).
+BANDWIDTHS: tuple[int, ...] = (4, 8, 16, 32, 64)
+
+#: ``k = b * mult`` multipliers for the DBBR second blocking dimension
+#: (``b | k`` holds by construction; ``k <= n`` filters per size).
+SECOND_BLOCK_MULTS: tuple[int, ...] = (2, 4, 8, 16, 32)
+
+#: One-stage (cuSOLVER-style) panel widths.
+DIRECT_BLOCKS: tuple[int, ...] = (8, 16, 32, 64)
+
+#: Largest ``n`` at which the dense LAPACK tier is plausibly competitive
+#: with the two-stage pipeline — the dense-crossover candidate is only
+#: generated below this (mirrors the serving layer's small-``n`` tier).
+DENSE_CROSSOVER_MAX_N = 512
+
+#: Candidate ``dense_fastpath_max_n`` thresholds for the serving layer
+#: (0 = never promote), bounded by :data:`DENSE_CROSSOVER_MAX_N`.
+SERVE_BATCH_THRESHOLDS: tuple[int, ...] = (0, 16, 32, 64, 128, 256, 512)
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One point of the search space: a method plus the explicit knobs
+    an end user would pass to ``plan_evd``/``eigh``.
+
+    ``knobs`` is a sorted tuple of items (hashable, deterministic
+    ordering); :attr:`kwargs` rebuilds the call dict.
+    """
+
+    method: str
+    knobs: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(cls, method: str, **knobs: Any) -> "Candidate":
+        return cls(method=method, knobs=tuple(sorted(knobs.items())))
+
+    @property
+    def kwargs(self) -> dict[str, Any]:
+        return dict(self.knobs)
+
+    @property
+    def label(self) -> str:
+        if not self.knobs:
+            return self.method
+        inner = ",".join(f"{k}={v}" for k, v in self.knobs)
+        return f"{self.method}({inner})"
+
+
+def resolve_method(method: str) -> str:
+    """Map a preset spelling to the raw tridiagonalization method the
+    store keys on (``"proposed"`` -> ``"dbbr"``), validating the name
+    with the planner's own error style."""
+    preset = PRESETS.get(method)
+    if preset is not None:
+        return str(preset["method"])
+    if method in TRIDIAG_METHODS + ("dense",):
+        return method
+    raise bad_choice(
+        "tunable method", method, tuple(PRESETS) + TRIDIAG_METHODS + ("dense",)
+    )
+
+
+def candidate_plan(n: int, cand: Candidate, backend: str = "numpy") -> EVDPlan:
+    """Resolve a candidate through the real planner (validity proof)."""
+    return plan_evd(n, cand.method, backend=backend, **cand.kwargs)
+
+
+def _dbbr_candidates(n: int) -> list[Candidate]:
+    out = []
+    for b in BANDWIDTHS:
+        if b > max(n - 2, 1):
+            break  # planner clamp b <= n - 2 would alias these
+        for mult in SECOND_BLOCK_MULTS:
+            k = b * mult
+            if k > n:
+                break  # planner clamp k <= n (via k = (k // b) * b)
+            out.append(Candidate.make("dbbr", bandwidth=b, second_block=k))
+    return out
+
+
+def _sbr_like_candidates(n: int, method: str) -> list[Candidate]:
+    return [
+        Candidate.make(method, bandwidth=b)
+        for b in BANDWIDTHS
+        if b <= max(n - 2, 1)
+    ]
+
+
+def _direct_candidates(n: int) -> list[Candidate]:
+    return [Candidate.make("direct", direct_block=nb) for nb in DIRECT_BLOCKS if nb <= max(n, 1)]
+
+
+def default_candidate(n: int, method: str = "dbbr") -> Candidate:
+    """The untuned baseline: what the planner would resolve on its own
+    (``auto_params`` for the two-stage methods) spelled explicitly."""
+    method = resolve_method(method)
+    if method == "dense":
+        return Candidate.make("dense")
+    if method == "direct":
+        return Candidate.make("direct", direct_block=32)
+    b, k = auto_params(n)
+    b = max(1, min(b, max(n - 2, 1)))
+    if method == "dbbr":
+        k = max(b, (max(k, b) // b) * b)
+        return Candidate.make("dbbr", bandwidth=b, second_block=k)
+    return Candidate.make(method, bandwidth=b)
+
+
+def _dedup(n: int, cands: Iterable[Candidate], backend: str) -> list[Candidate]:
+    """Drop candidates the planner resolves to an already-seen plan, and
+    (defensively) any the planner rejects outright."""
+    seen: set[str] = set()
+    out: list[Candidate] = []
+    for cand in cands:
+        try:
+            token = candidate_plan(n, cand, backend).cache_token()
+        except PlanError:  # pragma: no cover - generators respect the rules
+            continue
+        if token not in seen:
+            seen.add(token)
+            out.append(cand)
+    return out
+
+
+def candidates(n: int, method: str = "dbbr", backend: str = "numpy") -> list[Candidate]:
+    """Every valid, distinct candidate for tuning ``method`` at size ``n``.
+
+    The untuned :func:`default_candidate` is always included, so a
+    search can never select something slower than the out-of-the-box
+    configuration without having measured that configuration too.
+    """
+    method = resolve_method(method)
+    if n < 1:
+        raise PlanError(f"cannot tune an empty problem (n = {n})")
+    gen: list[Candidate]
+    if method == "dense":
+        gen = [Candidate.make("dense")]
+    elif method == "dbbr":
+        gen = _dbbr_candidates(n)
+    elif method in ("sbr", "tile"):
+        gen = _sbr_like_candidates(n, method)
+    else:
+        gen = _direct_candidates(n)
+    gen.insert(0, default_candidate(n, method))
+    return _dedup(n, gen, backend)
+
+
+def evd_candidates(
+    n: int, method: str = "dbbr", backend: str = "numpy", include_dense: bool = True
+) -> list[Candidate]:
+    """The candidate list for a full EVD at size ``n``: the pipeline
+    space plus — below the crossover — the dense tier, so small problems
+    can discover that no pipeline beats one vendor kernel."""
+    out = candidates(n, method, backend)
+    if include_dense and n <= DENSE_CROSSOVER_MAX_N and resolve_method(method) != "dense":
+        out.append(Candidate.make("dense"))
+    return out
+
+
+def serve_threshold_candidates(max_n: int | None = None) -> list[int]:
+    """Candidate ``dense_fastpath_max_n`` values for the serving layer."""
+    cap = DENSE_CROSSOVER_MAX_N if max_n is None else max_n
+    return [t for t in SERVE_BATCH_THRESHOLDS if t <= cap]

@@ -1,0 +1,490 @@
+"""The persistent per-device tuning database.
+
+A :class:`TuningStore` is a schema-versioned JSON document mapping
+``(n-bucket, method, backend, device fingerprint, dtype)`` keys to the
+best *measured-on-this-machine* pipeline knobs (:class:`TuneRecord`).
+It is the memory of the empirical autotuner: ``repro tune search``
+writes it, ``plan_evd(..., tuning="auto")`` reads it, and because the
+tuned knobs resolve into the same frozen :class:`~repro.plan.EVDPlan`
+fields an explicit caller would have spelled, a store hit can never
+change ``cache_token()`` identity or result bits relative to that
+explicit spelling.
+
+Durability contract (production traffic writes this file from many
+processes):
+
+* **atomic replace** — ``save()`` writes a sibling temp file and
+  ``os.replace``\\ s it over the database, so a reader never observes a
+  half-written document and the last concurrent writer wins a *whole*
+  document;
+* **merge-on-write** — ``save()`` re-reads the file first and keeps the
+  better (faster) record per key, so concurrent tuners converge instead
+  of clobbering each other;
+* **corruption tolerance** — a truncated, garbage, or future-schema
+  file loads as an *empty store with a* :class:`TuneStoreWarning`,
+  never an exception: a broken tuning DB must degrade to untuned
+  behavior, not take the serving path down.  Only a genuinely unusable
+  path (the DB "file" is a directory, an unwritable location, ...)
+  raises the typed :class:`TuneStoreError`.
+
+``REPRO_TUNE_DB`` overrides the default location
+(``~/.cache/repro/tune_db.json``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import tempfile
+import threading
+import time
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from ..resilience.errors import ReproError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TuneRecord",
+    "TuneStoreError",
+    "TuneStoreWarning",
+    "TuningStore",
+    "default_db_path",
+    "device_fingerprint",
+    "lookup_tuned_knobs",
+    "n_bucket",
+    "record_key",
+    "reset_tune_stats",
+    "tune_stats",
+]
+
+#: Version of the on-disk document.  A file claiming a *newer* schema is
+#: treated as unreadable (empty-with-warning): forward compatibility is
+#: explicitly not promised, silently misreading future knobs would be
+#: worse than retuning.
+SCHEMA_VERSION = 1
+
+#: Environment override for the database location.
+ENV_DB_PATH = "REPRO_TUNE_DB"
+
+DEFAULT_DTYPE = "float64"
+
+
+class TuneStoreError(ReproError, OSError):
+    """The tuning database path is genuinely unusable (a directory where
+    the file should be, an unwritable location, ...).  *Not* raised for
+    corrupt contents — those degrade to an empty store."""
+
+
+class TuneStoreWarning(UserWarning):
+    """A tuning database was unreadable or partially readable and has
+    been (partially) ignored."""
+
+
+def default_db_path() -> Path:
+    """The database location: ``$REPRO_TUNE_DB`` or
+    ``~/.cache/repro/tune_db.json``."""
+    env = os.environ.get(ENV_DB_PATH)
+    if env:
+        return Path(env).expanduser()
+    return Path("~/.cache/repro/tune_db.json").expanduser()
+
+
+def n_bucket(n: int) -> int:
+    """Round ``n`` up to its power-of-two bucket (minimum 1).
+
+    Tuned knobs generalize across nearby sizes but not across decades,
+    so records are keyed by bucket: knobs measured at ``n = 1024`` apply
+    to every ``n`` in ``(512, 1024]``.  The planner's own clamps
+    (``b <= n - 2``, ``k <= n``) keep a bucket-mate's knobs valid at the
+    smaller sizes inside the bucket.
+    """
+    if n <= 1:
+        return 1
+    return 1 << (n - 1).bit_length()
+
+
+def _slug(text: str) -> str:
+    out = "".join(c if c.isalnum() or c in "._" else "-" for c in text.lower())
+    while "--" in out:
+        out = out.replace("--", "-")
+    return out.strip("-")
+
+
+def device_fingerprint(backend: str = "numpy") -> str:
+    """A short, stable identity of the hardware ``backend`` executes on.
+
+    Measured timings are only trustworthy on the machine that produced
+    them, so every record is keyed by this fingerprint.  For GPU
+    backends the accelerator's device name is used when one is actually
+    available; otherwise (and always for NumPy) the host CPU identity:
+    architecture, logical core count, and a short digest of the
+    processor string.  This is *not* the simulator's ``device=`` preset
+    ("h100"), which names a modeled GPU rather than local hardware.
+    """
+    if backend == "torch":  # pragma: no cover - exercised only with a GPU
+        try:
+            import torch
+
+            if torch.cuda.is_available():
+                return "cuda-" + _slug(torch.cuda.get_device_name(0))
+        except Exception:
+            pass
+    if backend == "cupy":  # pragma: no cover - exercised only with a GPU
+        try:
+            import cupy
+
+            props = cupy.cuda.runtime.getDeviceProperties(0)
+            return "cuda-" + _slug(props["name"].decode())
+        except Exception:
+            pass
+    ident = "|".join(
+        (platform.machine(), platform.processor(), platform.system())
+    )
+    digest = hashlib.blake2s(ident.encode(), digest_size=4).hexdigest()
+    return f"cpu-{_slug(platform.machine()) or 'unknown'}-{os.cpu_count() or 1}c-{digest}"
+
+
+def record_key(
+    n: int,
+    method: str,
+    backend: str,
+    device: str | None = None,
+    dtype: str = DEFAULT_DTYPE,
+) -> str:
+    """The store key for a problem: ``nbucket|method|backend|device|dtype``."""
+    dev = device if device is not None else device_fingerprint(backend)
+    return f"{n_bucket(n)}|{method}|{backend}|{dev}|{dtype}"
+
+
+@dataclass(frozen=True)
+class TuneRecord:
+    """One tuned configuration: the winning knobs plus the measurement
+    evidence that selected them.
+
+    ``knobs`` are exactly the keyword arguments an explicit caller would
+    pass to :func:`repro.plan.plan_evd` — applying a record *is* the
+    explicit spelling, which is what keeps tuning bit-invisible.
+    """
+
+    method: str
+    knobs: Mapping[str, Any]
+    time_s: float
+    cv: float = 0.0
+    n: int = 0
+    source: str = "measured"
+    protocol: Mapping[str, Any] = field(default_factory=dict)
+    created: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "method": self.method,
+            "knobs": dict(self.knobs),
+            "time_s": self.time_s,
+            "cv": self.cv,
+            "n": self.n,
+            "source": self.source,
+            "protocol": dict(self.protocol),
+            "created": self.created,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TuneRecord":
+        """Parse one record; raises on structurally unusable input (the
+        store's loader converts that into a skip-with-warning)."""
+        knobs = data["knobs"]
+        if not isinstance(knobs, dict):
+            raise TypeError(f"record knobs must be a dict, got {type(knobs).__name__}")
+        return cls(
+            method=str(data["method"]),
+            knobs=dict(knobs),
+            time_s=float(data["time_s"]),
+            cv=float(data.get("cv", 0.0)),
+            n=int(data.get("n", 0)),
+            source=str(data.get("source", "measured")),
+            protocol=dict(data.get("protocol", {})),
+            created=str(data.get("created", "")),
+        )
+
+
+def _better(a: TuneRecord, b: TuneRecord) -> TuneRecord:
+    """Deterministic merge winner: the faster measurement; ties keep ``a``."""
+    return b if b.time_s < a.time_s else a
+
+
+class TuningStore:
+    """An in-memory view of the tuning database (see module docstring).
+
+    Thread-safe for ``put``/``get``/``save`` within a process; across
+    processes the atomic-replace + merge-on-write protocol applies.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str] | None = None,
+        records: Mapping[str, TuneRecord] | None = None,
+    ) -> None:
+        self.path = Path(path) if path is not None else default_db_path()
+        self.records: dict[str, TuneRecord] = dict(records or {})
+        self._lock = threading.Lock()
+
+    # -- loading -------------------------------------------------------
+    @classmethod
+    def load(cls, path: str | os.PathLike[str] | None = None) -> "TuningStore":
+        """Read the database at ``path`` (default: :func:`default_db_path`).
+
+        Never raises for *content* problems: a missing file is simply an
+        empty store, and a truncated / garbage / future-schema file is
+        an empty store plus a :class:`TuneStoreWarning`.  Individually
+        malformed records are skipped (with a warning) without
+        discarding their healthy neighbors.
+        """
+        store = cls(path)
+        store.records = _read_records(store.path)
+        return store
+
+    # -- access --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[tuple[str, TuneRecord]]:
+        return iter(sorted(self.records.items()))
+
+    def get(self, key: str) -> TuneRecord | None:
+        return self.records.get(key)
+
+    def lookup(
+        self,
+        n: int,
+        method: str,
+        backend: str = "numpy",
+        device: str | None = None,
+        dtype: str = DEFAULT_DTYPE,
+    ) -> TuneRecord | None:
+        """The tuned record covering an ``n x n`` problem, or ``None``."""
+        return self.get(record_key(n, method, backend, device, dtype))
+
+    def put(
+        self,
+        n: int,
+        method: str,
+        backend: str,
+        record: TuneRecord,
+        device: str | None = None,
+        dtype: str = DEFAULT_DTYPE,
+        force: bool = False,
+    ) -> str:
+        """Insert ``record``, keeping the faster of old/new per key
+        (``force=True`` overwrites unconditionally).  Returns the key."""
+        key = record_key(n, method, backend, device, dtype)
+        with self._lock:
+            old = self.records.get(key)
+            if force or old is None:
+                self.records[key] = record
+            else:
+                self.records[key] = _better(old, record)
+        return key
+
+    def merge(self, other: "TuningStore") -> None:
+        """Fold ``other``'s records in (faster measurement wins per key)."""
+        with self._lock:
+            for key, rec in other.records.items():
+                mine = self.records.get(key)
+                self.records[key] = rec if mine is None else _better(mine, rec)
+
+    # -- persistence ---------------------------------------------------
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "records": {
+                k: self.records[k].to_dict() for k in sorted(self.records)
+            },
+        }
+
+    def save(self) -> Path:
+        """Merge-on-write + atomic replace (see module docstring).
+
+        Raises :class:`TuneStoreError` when the path is unusable; never
+        raises for pre-existing corrupt contents (they are replaced).
+        """
+        with self._lock:
+            # Merge-on-write: fold in whatever landed on disk since we
+            # loaded, so concurrent tuners accumulate instead of clobber.
+            for key, rec in _read_records(self.path).items():
+                mine = self.records.get(key)
+                self.records[key] = rec if mine is None else _better(mine, rec)
+            doc = self.to_json_dict()
+        text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=self.path.name + ".", suffix=".tmp", dir=str(self.path.parent)
+            )
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    fh.write(text)
+                os.replace(tmp_name, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError as exc:
+            raise TuneStoreError(
+                f"cannot write tuning database at {self.path}: {exc}"
+            ) from exc
+        return self.path
+
+    # -- import/export -------------------------------------------------
+    def export_json(self) -> str:
+        """The store as a JSON document string (``repro tune export``)."""
+        return json.dumps(self.to_json_dict(), indent=2, sort_keys=True) + "\n"
+
+    def import_json(self, text: str, replace: bool = False) -> int:
+        """Merge (or, with ``replace``, overwrite with) a document
+        produced by :meth:`export_json`.  Returns the number of records
+        imported.  Raises :class:`TuneStoreError` on an unusable
+        document — an *import* is an explicit operation, so unlike
+        :meth:`load` it fails loudly.
+        """
+        try:
+            records = _parse_document(json.loads(text), source="import")
+        except (ValueError, TypeError, KeyError) as exc:
+            raise TuneStoreError(f"cannot import tuning records: {exc}") from exc
+        with self._lock:
+            if replace:
+                self.records = dict(records)
+            else:
+                for key, rec in records.items():
+                    mine = self.records.get(key)
+                    self.records[key] = rec if mine is None else _better(mine, rec)
+        return len(records)
+
+
+def _parse_document(doc: Any, source: str) -> dict[str, TuneRecord]:
+    """Validate a parsed JSON document into records (raises on an
+    unusable document; skips individually bad records with a warning)."""
+    if not isinstance(doc, dict):
+        raise TypeError(f"expected a JSON object, got {type(doc).__name__}")
+    version = doc.get("schema_version")
+    if not isinstance(version, int) or version > SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported tuning-DB schema {version!r} "
+            f"(this build reads <= {SCHEMA_VERSION})"
+        )
+    raw = doc.get("records", {})
+    if not isinstance(raw, dict):
+        raise TypeError("'records' must be a JSON object")
+    records: dict[str, TuneRecord] = {}
+    for key, value in raw.items():
+        try:
+            records[str(key)] = TuneRecord.from_dict(value)
+        except (KeyError, TypeError, ValueError) as exc:
+            warnings.warn(
+                f"skipping malformed tuning record {key!r} in {source}: {exc}",
+                TuneStoreWarning,
+                stacklevel=3,
+            )
+    return records
+
+
+def _read_records(path: Path) -> dict[str, TuneRecord]:
+    """Read records from ``path`` with the corruption-tolerance contract
+    (missing -> empty; unreadable -> empty + :class:`TuneStoreWarning`)."""
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        return {}
+    except OSError as exc:
+        warnings.warn(
+            f"cannot read tuning database {path}: {exc}; continuing untuned",
+            TuneStoreWarning,
+            stacklevel=3,
+        )
+        return {}
+    try:
+        return _parse_document(json.loads(text), source=str(path))
+    except (ValueError, TypeError, KeyError) as exc:
+        warnings.warn(
+            f"ignoring corrupt tuning database {path}: {exc}; continuing untuned",
+            TuneStoreWarning,
+            stacklevel=3,
+        )
+        return {}
+
+
+# -- the planner's read path ------------------------------------------------
+
+_STATS_LOCK = threading.Lock()
+_STATS = {"hits": 0, "misses": 0}
+
+#: Tiny read cache so per-request ``plan_evd(tuning="auto")`` calls in the
+#: serving layer do not re-parse the JSON file: keyed by (path, mtime_ns,
+#: size); any writer's atomic replace changes the stat signature.
+_READ_CACHE: dict[str, tuple[tuple[int, int], dict[str, TuneRecord]]] = {}
+_READ_CACHE_LOCK = threading.Lock()
+
+
+def _cached_records(path: Path) -> dict[str, TuneRecord]:
+    try:
+        st = path.stat()
+        sig = (st.st_mtime_ns, st.st_size)
+    except OSError:
+        return _read_records(path)
+    key = str(path)
+    with _READ_CACHE_LOCK:
+        hit = _READ_CACHE.get(key)
+        if hit is not None and hit[0] == sig:
+            return hit[1]
+    records = _read_records(path)
+    with _READ_CACHE_LOCK:
+        _READ_CACHE[key] = (sig, records)
+        while len(_READ_CACHE) > 8:
+            _READ_CACHE.pop(next(iter(_READ_CACHE)))
+    return records
+
+
+def tune_stats() -> dict[str, int]:
+    """Process-wide ``tuning="auto"`` store consultation counters."""
+    with _STATS_LOCK:
+        return dict(_STATS)
+
+
+def reset_tune_stats() -> None:
+    with _STATS_LOCK:
+        _STATS["hits"] = 0
+        _STATS["misses"] = 0
+
+
+def lookup_tuned_knobs(
+    n: int,
+    method: str,
+    backend: str = "numpy",
+    path: str | os.PathLike[str] | None = None,
+    dtype: str = DEFAULT_DTYPE,
+) -> dict[str, Any] | None:
+    """The store's answer for an ``n x n`` ``method`` problem, or ``None``.
+
+    This is the entire read path behind ``plan_evd(..., tuning="auto")``:
+    strictly read-only (a missing or corrupt database never writes, never
+    raises) and counted in :func:`tune_stats` so a fleet can watch its
+    hit rate.
+    """
+    records = _cached_records(Path(path) if path is not None else default_db_path())
+    rec = records.get(record_key(n, method, backend, dtype=dtype))
+    with _STATS_LOCK:
+        if rec is None:
+            _STATS["misses"] += 1
+        else:
+            _STATS["hits"] += 1
+    return dict(rec.knobs) if rec is not None else None
+
+
+def timestamp() -> str:
+    """Record-creation timestamp (ISO-8601, local time)."""
+    return time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime())

@@ -1,0 +1,95 @@
+"""``plan_evd(tuning=...)`` dispatch: validation and the auto fallback.
+
+These tests isolate the tuning database to a per-test path themselves
+(the autouse fixture doing so lives in ``tests/tune``) because the
+planner consults ``$REPRO_TUNE_DB`` when ``tuning="auto"``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.plan import PlanError, plan_evd
+from repro.plan.planner import TUNINGS, plan_tridiag
+from repro.tune import TuneRecord, TuningStore, reset_tune_stats, tune_stats
+from repro.tune.store import ENV_DB_PATH
+
+
+@pytest.fixture(autouse=True)
+def tune_db(tmp_path, monkeypatch):
+    db = tmp_path / "tune_db.json"
+    monkeypatch.setenv(ENV_DB_PATH, str(db))
+    reset_tune_stats()
+    yield db
+    reset_tune_stats()
+
+
+class TestDispatchValidation:
+    def test_unknown_tuning_raises_plan_error_naming_choices(self):
+        with pytest.raises(PlanError) as err:
+            plan_evd(64, "dbbr", tuning="genetic")
+        msg = str(err.value)
+        assert "genetic" in msg
+        for valid in TUNINGS:
+            assert valid in msg
+
+    def test_plan_tridiag_validates_tuning_too(self):
+        with pytest.raises(PlanError, match="manual"):
+            plan_tridiag(64, "dbbr", tuning="genetic")
+
+    def test_auto_is_a_valid_choice(self):
+        assert "auto" in TUNINGS
+        assert plan_evd(64, "dbbr", tuning="auto").tuning == "auto"
+
+
+class TestAutoWithoutDatabase:
+    def test_pure_fallback_to_model(self, tune_db):
+        auto = plan_evd(64, "dbbr", tuning="auto")
+        model = plan_evd(64, "dbbr", tuning="model")
+        assert auto.cache_token() == model.cache_token()
+        assert auto.tridiag.bandwidth == model.tridiag.bandwidth
+        assert auto.tridiag.second_block == model.tridiag.second_block
+
+    def test_no_filesystem_writes(self, tune_db):
+        plan_evd(64, "dbbr", tuning="auto")
+        plan_tridiag(64, "dbbr", tuning="auto")
+        assert not tune_db.exists(), "planning must never create the DB"
+        assert not tune_db.parent.joinpath("tune_db.json.tmp").exists()
+
+    def test_miss_is_counted(self, tune_db):
+        plan_evd(64, "dbbr", tuning="auto")
+        assert tune_stats()["misses"] == 1
+        assert tune_stats()["hits"] == 0
+
+
+class TestAutoWithDatabase:
+    def _seed(self, tune_db, **knobs):
+        store = TuningStore.load()
+        store.put(
+            64, "dbbr", "numpy",
+            TuneRecord(method="dbbr", knobs=knobs, time_s=0.01, n=64),
+        )
+        store.save()
+
+    def test_hit_resolves_tuned_knobs(self, tune_db):
+        self._seed(tune_db, bandwidth=8, second_block=32)
+        plan = plan_evd(64, "dbbr", tuning="auto")
+        assert (plan.tridiag.bandwidth, plan.tridiag.second_block) == (8, 32)
+        assert tune_stats()["hits"] == 1
+
+    def test_plan_tridiag_consults_the_store(self, tune_db):
+        self._seed(tune_db, bandwidth=8, second_block=32)
+        tri, _, _ = plan_tridiag(64, "dbbr", tuning="auto")
+        assert (tri.bandwidth, tri.second_block) == (8, 32)
+
+    def test_non_pipeline_knobs_in_record_ignored(self, tune_db):
+        # A record polluted with unknown keys must not break planning.
+        self._seed(tune_db, bandwidth=8, second_block=32, exotic_flag=True)
+        plan = plan_evd(64, "dbbr", tuning="auto")
+        assert plan.tridiag.bandwidth == 8
+
+    def test_other_method_record_not_consulted(self, tune_db):
+        self._seed(tune_db, bandwidth=8, second_block=32)
+        auto = plan_evd(64, "sbr", tuning="auto")
+        model = plan_evd(64, "sbr", tuning="model")
+        assert auto.cache_token() == model.cache_token()

@@ -1,0 +1,22 @@
+"""Isolation fixtures for the autotuning suite: every test gets a
+private tuning-database path (no test may read the developer's real
+``~/.cache`` DB or leave one behind) and fresh hit/miss counters."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.tune import reset_tune_stats
+from repro.tune.store import ENV_DB_PATH
+
+
+@pytest.fixture(autouse=True)
+def isolated_tune_db(tmp_path, monkeypatch) -> pathlib.Path:
+    """Point ``$REPRO_TUNE_DB`` at a per-test path (not yet created)."""
+    db = tmp_path / "tune_db.json"
+    monkeypatch.setenv(ENV_DB_PATH, str(db))
+    reset_tune_stats()
+    yield db
+    reset_tune_stats()

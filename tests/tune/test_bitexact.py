@@ -1,0 +1,73 @@
+"""Regression: tuning must never change *what* is computed.
+
+A store-tuned plan and the identical explicitly-spelled
+``plan_evd(**knobs)`` must be the same computation: equal
+``cache_token()`` (so the serving cache cannot split) and bit-identical
+eigensolutions (not just allclose).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.plan import execute_plan, plan_evd
+from repro.tune import TuneRecord, TuningStore, workload_matrix
+from repro.tune.measure import MeasureProtocol
+
+KNOBS = {"bandwidth": 8, "second_block": 32}
+
+
+@pytest.fixture()
+def seeded_store(isolated_tune_db):
+    store = TuningStore.load()
+    store.put(
+        64,
+        "dbbr",
+        "numpy",
+        TuneRecord(method="dbbr", knobs=dict(KNOBS), time_s=0.01, n=64),
+    )
+    store.save()
+    return store
+
+
+def test_store_tuned_plan_equals_explicit_cache_token(seeded_store):
+    auto = plan_evd(64, "dbbr", tuning="auto")
+    explicit = plan_evd(64, "dbbr", **KNOBS)
+    assert auto.cache_token() == explicit.cache_token()
+    # The display field still records how the plan was requested.
+    assert auto.tuning == "auto"
+
+
+def test_store_tuned_plan_is_bit_identical(seeded_store):
+    A = workload_matrix(64, MeasureProtocol(seed=99))
+    auto = execute_plan(A.copy(), plan_evd(64, "dbbr", tuning="auto"))
+    explicit = execute_plan(A.copy(), plan_evd(64, "dbbr", **KNOBS))
+    # Bitwise equality, not allclose: same plan, same arithmetic.
+    assert np.array_equal(auto.eigenvalues, explicit.eigenvalues)
+    assert np.array_equal(auto.eigenvectors, explicit.eigenvectors)
+    assert auto.eigenvalues.tobytes() == explicit.eigenvalues.tobytes()
+    assert auto.eigenvectors.tobytes() == explicit.eigenvectors.tobytes()
+
+
+def test_explicit_knobs_beat_the_store(seeded_store):
+    """User-specified knobs always win over tuned ones."""
+    plan = plan_evd(64, "dbbr", tuning="auto", bandwidth=16)
+    assert plan.tridiag.bandwidth == 16
+    # The unset knob still comes from the store record.
+    assert plan.tridiag.second_block == 32
+
+
+def test_store_miss_matches_model_tuning(seeded_store):
+    # n=300 buckets to 512 — no record there, so auto == model exactly.
+    auto = plan_evd(300, "dbbr", tuning="auto")
+    model = plan_evd(300, "dbbr", tuning="model")
+    assert auto.cache_token() == model.cache_token()
+
+
+def test_bucket_sharing_stays_bit_exact(seeded_store):
+    """Knobs recorded at the 64 bucket apply to every n in (32, 64]."""
+    for n in (40, 50, 64):
+        auto = plan_evd(n, "dbbr", tuning="auto")
+        explicit = plan_evd(n, "dbbr", **KNOBS)
+        assert auto.cache_token() == explicit.cache_token()

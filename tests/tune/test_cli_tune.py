@@ -1,0 +1,113 @@
+"""The ``repro tune`` CLI: search, show, export, import end to end.
+
+Runs against the per-test ``$REPRO_TUNE_DB`` (see conftest), with tiny
+problem sizes and one rep so the whole suite stays fast.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.tune import TuningStore
+
+FAST = ["--reps", "1", "--warmup", "0"]
+
+
+def _search(extra=()):
+    return main(["tune", "search", "--n", "16", "--method", "dbbr", *FAST, *extra])
+
+
+def test_search_records_winner(isolated_tune_db, capsys):
+    assert _search() == 0
+    out = capsys.readouterr().out
+    assert "tuned dbbr at n=16" in out
+    assert "<== best" in out
+    assert "recorded" in out
+    store = TuningStore.load()
+    assert len(store) == 1
+    ((key, rec),) = list(store)
+    assert key.startswith("16|dbbr|numpy|")
+    assert rec.method == "dbbr"
+
+
+def test_search_dry_run_writes_nothing(isolated_tune_db, capsys):
+    assert _search(["--dry-run"]) == 0
+    assert "dry run" in capsys.readouterr().out
+    assert not isolated_tune_db.exists()
+
+
+def test_search_then_auto_plan_hits_the_store(isolated_tune_db, capsys):
+    assert _search() == 0
+    capsys.readouterr()
+    # `repro plan --tuning auto` must resolve through the fresh record.
+    assert main(["plan", "--n", "16", "--method", "dbbr", "--tuning", "auto"]) == 0
+    assert "tuning" in capsys.readouterr().out
+
+
+def test_explicit_db_flag_overrides_env(isolated_tune_db, tmp_path, capsys):
+    alt = tmp_path / "alt.json"
+    assert _search(["--db", str(alt)]) == 0
+    assert alt.exists()
+    assert not isolated_tune_db.exists()
+
+
+def test_show_empty_and_populated(isolated_tune_db, capsys):
+    assert main(["tune", "show"]) == 0
+    assert "empty" in capsys.readouterr().out
+    _search()
+    capsys.readouterr()
+    assert main(["tune", "show"]) == 0
+    out = capsys.readouterr().out
+    assert "1 record(s)" in out
+    assert "16|dbbr|numpy|" in out
+
+
+def test_export_import_round_trip(isolated_tune_db, tmp_path, capsys):
+    _search()
+    dump = tmp_path / "dump.json"
+    assert main(["tune", "export", str(dump)]) == 0
+    doc = json.loads(dump.read_text())
+    assert doc["records"]
+
+    other = tmp_path / "other_db.json"
+    capsys.readouterr()
+    assert main(["tune", "import", str(dump), "--db", str(other)]) == 0
+    assert "imported 1 record(s)" in capsys.readouterr().out
+    assert len(TuningStore.load(other)) == 1
+
+
+def test_export_to_stdout(isolated_tune_db, capsys):
+    _search()
+    capsys.readouterr()
+    assert main(["tune", "export"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert set(doc) >= {"schema_version", "records"}
+
+
+def test_import_garbage_fails_cleanly(isolated_tune_db, tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("not json at all")
+    assert main(["tune", "import", str(bad)]) == 2
+    assert "tune import failed" in capsys.readouterr().err
+    assert not isolated_tune_db.exists()
+
+
+def test_serve_threshold_search(isolated_tune_db, capsys):
+    code = main(
+        ["tune", "search", "--method", "serve", *FAST, "--sizes", "8", "16"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "serve dense-crossover threshold:" in out
+    store = TuningStore.load()
+    rec = store.lookup(1, "serve", "numpy")
+    assert rec is not None
+    assert "dense_fastpath_max_n" in rec.knobs
+
+
+def test_unknown_tune_subcommand_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["tune", "frobnicate"])

@@ -1,0 +1,70 @@
+"""Serve-layer adoption of tuned thresholds via ``tuned_service_config``."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serve import ServiceConfig, SolverService
+from repro.tune import TuneRecord, TuningStore, tuned_service_config
+
+
+def _serve_record(**knobs) -> TuneRecord:
+    return TuneRecord(method="serve", knobs=knobs, time_s=0.0, n=1)
+
+
+def test_no_record_returns_config_unchanged(isolated_tune_db):
+    base = ServiceConfig(max_batch=7)
+    assert tuned_service_config(base) is base
+
+
+def test_defaults_when_no_config_given(isolated_tune_db):
+    assert tuned_service_config() == ServiceConfig()
+
+
+def test_threshold_adopted_from_store(isolated_tune_db):
+    store = TuningStore.load()
+    store.put(1, "serve", "numpy", _serve_record(dense_fastpath_max_n=48))
+    store.save()
+    tuned = tuned_service_config()
+    assert tuned.dense_fastpath_max_n == 48
+
+
+def test_zero_threshold_maps_to_never_promote(isolated_tune_db):
+    store = TuningStore()
+    store.put(1, "serve", "numpy", _serve_record(dense_fastpath_max_n=0))
+    tuned = tuned_service_config(store=store)
+    assert tuned.dense_fastpath_max_n is None
+
+
+def test_only_recognized_knobs_applied(isolated_tune_db):
+    store = TuningStore()
+    store.put(
+        1, "serve", "numpy",
+        _serve_record(max_batch=32, bogus_knob=99, dense_fastpath_max_n=16),
+    )
+    base = ServiceConfig()
+    tuned = tuned_service_config(base, store=store)
+    assert tuned.max_batch == 32
+    assert tuned.dense_fastpath_max_n == 16
+    assert not hasattr(tuned, "bogus_knob")
+    # Untouched fields carry over.
+    assert tuned.backend == base.backend
+
+
+def test_record_for_other_backend_ignored(isolated_tune_db):
+    store = TuningStore()
+    store.put(1, "serve", "torch", _serve_record(max_batch=64))
+    base = ServiceConfig(backend="numpy")
+    assert tuned_service_config(base, store=store) is base
+
+
+def test_service_runs_with_tuned_config(isolated_tune_db):
+    store = TuningStore()
+    store.put(1, "serve", "numpy", _serve_record(dense_fastpath_max_n=32))
+    config = tuned_service_config(store=store)
+    rng = np.random.default_rng(0)
+    A = rng.standard_normal((16, 16))
+    A = (A + A.T) / 2
+    with SolverService(config) as svc:
+        res = svc.submit(A).result(timeout=30)
+    assert np.allclose(np.sort(res.eigenvalues), np.linalg.eigvalsh(A))

@@ -1,0 +1,98 @@
+"""The measurement protocol: seeding, trimming, and the CV noise guard."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.plan import plan_evd
+from repro.tune import MeasureProtocol, measure_callable, measure_plan, workload_matrix
+
+
+class FakeClock:
+    """Deterministic clock: each call returns the next scripted instant."""
+
+    def __init__(self, durations):
+        self._times = [0.0]
+        for d in durations:
+            self._times.append(self._times[-1] + d)
+            self._times.append(self._times[-1])  # gap between samples is free
+        self._i = 0
+
+    def __call__(self) -> float:
+        t = self._times[min(self._i, len(self._times) - 1)]
+        self._i += 1
+        return t
+
+
+def _measure_with(durations, protocol):
+    return measure_callable(lambda: None, protocol, clock=FakeClock(durations))
+
+
+def test_trimmed_mean_drops_the_outlier():
+    proto = MeasureProtocol(warmup=0, reps=5, trim=1, cv_threshold=10.0)
+    m = _measure_with([1.0, 1.0, 1.0, 1.0, 100.0], proto)
+    assert m.time_s == pytest.approx(1.0)
+    assert m.best_s == pytest.approx(1.0)
+    assert len(m.samples) == 5
+    assert not m.noisy
+
+
+def test_quiet_measurement_single_attempt():
+    proto = MeasureProtocol(warmup=0, reps=3, trim=0, cv_threshold=0.2, max_remeasure=3)
+    m = _measure_with([1.0, 1.0, 1.0], proto)
+    assert m.attempts == 1
+    assert m.cv == pytest.approx(0.0)
+
+
+def test_cv_guard_triggers_remeasurement():
+    # Attempt 1 is wildly noisy, attempt 2 is clean: the guard must
+    # re-measure and keep the clean batch.
+    proto = MeasureProtocol(warmup=0, reps=3, trim=0, cv_threshold=0.1, max_remeasure=2)
+    noisy_then_clean = [1.0, 5.0, 9.0] + [2.0, 2.0, 2.0]
+    m = _measure_with(noisy_then_clean, proto)
+    assert m.attempts == 2
+    assert m.time_s == pytest.approx(2.0)
+    assert not m.noisy
+
+
+def test_unquietable_measurement_flagged_noisy():
+    proto = MeasureProtocol(warmup=0, reps=2, trim=0, cv_threshold=0.01, max_remeasure=1)
+    m = _measure_with([1.0, 3.0, 1.0, 3.0], proto)
+    assert m.attempts == 2  # initial + max_remeasure
+    assert m.noisy
+
+
+def test_warmup_runs_not_sampled():
+    calls = []
+    proto = MeasureProtocol(warmup=2, reps=3, trim=0, cv_threshold=10.0)
+    measure_callable(lambda: calls.append(1), proto, clock=FakeClock([1.0] * 3))
+    assert len(calls) == 2 + 3
+
+
+def test_protocol_validation():
+    with pytest.raises(ValueError, match="reps"):
+        MeasureProtocol(reps=0)
+    with pytest.raises(ValueError, match="warmup"):
+        MeasureProtocol(warmup=-1)
+    with pytest.raises(ValueError, match="workload"):
+        MeasureProtocol(workload="adversarial")
+
+
+def test_workload_is_seed_deterministic_and_symmetric():
+    a = workload_matrix(32, MeasureProtocol(seed=7))
+    b = workload_matrix(32, MeasureProtocol(seed=7))
+    c = workload_matrix(32, MeasureProtocol(seed=8))
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+    assert np.array_equal(a, a.T)
+    u = workload_matrix(32, MeasureProtocol(seed=7, workload="uniform"))
+    assert np.array_equal(u, u.T)
+
+
+def test_measure_plan_times_a_real_solve():
+    plan = plan_evd(24, "proposed")
+    proto = MeasureProtocol(warmup=1, reps=2, trim=0, cv_threshold=10.0, seed=3)
+    m = measure_plan(plan, proto)
+    assert m.time_s > 0.0
+    assert len(m.samples) == 2

@@ -1,0 +1,188 @@
+"""Search strategies, replayed over recorded (synthetic) measurements.
+
+A deterministic ``measure_fn`` stands in for wall-clock timing: each
+plan's "time" is a fixed function of its knobs with a known global
+minimum, so the tests can assert what the search *finds*, not just that
+it runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.plan import plan_evd
+from repro.tune import (
+    Measurement,
+    SearchResult,
+    TuningStore,
+    default_candidate,
+    model_candidate,
+    search,
+    search_serve_threshold,
+)
+from repro.tune.space import candidates
+
+
+def synthetic_time(plan) -> float:
+    """Known landscape: fastest at bandwidth=16, second_block=64."""
+    t = plan.tridiag
+    if t is None:  # dense tier
+        return 0.5
+    if t.method == "direct":
+        return 0.3 + abs(t.direct_block - 32) * 1e-3
+    time = 0.1 + abs(t.bandwidth - 16) * 1e-2
+    if t.method == "dbbr":
+        time += abs(t.second_block - 64) * 1e-4
+    return time
+
+
+class CountingMeasure:
+    def __init__(self, fn=synthetic_time):
+        self.fn = fn
+        self.calls = 0
+
+    def __call__(self, plan) -> Measurement:
+        self.calls += 1
+        t = self.fn(plan)
+        return Measurement(time_s=t, best_s=t, cv=0.01, samples=(t,))
+
+
+class TestExhaustive:
+    def test_small_space_is_searched_exhaustively(self):
+        meas = CountingMeasure()
+        result = search(64, "dbbr", budget=100, measure_fn=meas)
+        assert result.strategy == "exhaustive"
+        assert result.pruned == 0
+        assert len(result.trials) == result.space_size
+        best = result.best.candidate.kwargs
+        assert (best["bandwidth"], best["second_block"]) == (16, 64)
+
+    def test_memoization_no_duplicate_measurements(self):
+        meas = CountingMeasure()
+        result = search(64, "dbbr", budget=100, measure_fn=meas)
+        # Anchors overlap the pool; the memo must dedupe them.
+        assert meas.calls == len(result.trials)
+
+    def test_trials_sorted_fastest_first(self):
+        result = search(64, "dbbr", budget=100, measure_fn=CountingMeasure())
+        times = [t.measurement.time_s for t in result.trials]
+        assert times == sorted(times)
+
+
+class TestPrunedDescent:
+    def test_large_space_uses_descent_within_budget(self):
+        space = len(candidates(1024, "dbbr"))
+        budget = space // 2
+        assert budget >= 4
+        meas = CountingMeasure()
+        result = search(1024, "dbbr", budget=budget, measure_fn=meas)
+        assert result.strategy == "model-pruned-descent"
+        assert meas.calls <= budget
+        assert result.pruned >= space - budget
+
+    def test_descent_still_finds_the_global_minimum(self):
+        # The landscape is separable in the knobs, so coordinate
+        # descent must land on the true optimum despite pruning.
+        result = search(1024, "dbbr", budget=12, measure_fn=CountingMeasure())
+        best = result.best_pipeline.candidate.kwargs
+        assert (best["bandwidth"], best["second_block"]) == (16, 64)
+
+    def test_anchors_always_measured(self):
+        result = search(1024, "dbbr", budget=8, measure_fn=CountingMeasure())
+        tokens = {t.cache_token for t in result.trials}
+        for anchor in (
+            default_candidate(1024, "dbbr"),
+            model_candidate(1024, "dbbr"),
+        ):
+            plan = plan_evd(1024, "dbbr", **anchor.kwargs)
+            assert plan.cache_token() in tokens
+
+    def test_best_no_worse_than_model_choice(self):
+        result = search(1024, "dbbr", budget=8, measure_fn=CountingMeasure())
+        model = model_candidate(1024, "dbbr")
+        model_plan = plan_evd(1024, "dbbr", **model.kwargs)
+        model_trial = next(
+            t for t in result.trials if t.cache_token == model_plan.cache_token()
+        )
+        assert result.best_pipeline.measurement.time_s <= model_trial.measurement.time_s
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("n,budget", [(64, 100), (1024, 10)])
+    def test_same_measurements_same_outcome(self, n, budget):
+        def run() -> SearchResult:
+            return search(n, "dbbr", budget=budget, measure_fn=CountingMeasure())
+
+        a, b = run(), run()
+        assert a.best.cache_token == b.best.cache_token
+        assert [t.candidate.label for t in a.trials] == [
+            t.candidate.label for t in b.trials
+        ]
+        assert a.to_dict() == b.to_dict()
+
+    def test_ties_break_on_label(self):
+        flat = CountingMeasure(fn=lambda plan: 1.0)
+        result = search(64, "dbbr", budget=100, measure_fn=flat)
+        labels = [t.candidate.label for t in result.trials]
+        assert labels == sorted(labels)
+
+
+class TestStoreIntegration:
+    def test_winner_recorded_under_store_key(self, isolated_tune_db):
+        store = TuningStore.load()
+        result = search(
+            64, "proposed", budget=100, measure_fn=CountingMeasure(), store=store
+        )
+        assert result.store_key is not None
+        rec = store.get(result.store_key)
+        assert rec is not None
+        assert rec.knobs == result.best_pipeline.candidate.kwargs
+        assert rec.source == "measured"
+        assert not isolated_tune_db.exists(), "save=False must not touch disk"
+
+    def test_save_persists_to_disk(self, isolated_tune_db):
+        store = TuningStore.load()
+        search(
+            64, "dbbr", budget=100, measure_fn=CountingMeasure(), store=store, save=True
+        )
+        assert isolated_tune_db.exists()
+        assert len(TuningStore.load()) == 1
+
+    def test_dense_winner_never_stored(self):
+        # Dense wins overall, but auto-tuned plans cannot switch method,
+        # so the stored record must be the best *pipeline* candidate.
+        fast_dense = CountingMeasure(
+            fn=lambda plan: 0.01 if plan.tridiag is None else synthetic_time(plan)
+        )
+        store = TuningStore()
+        result = search(
+            64, "dbbr", budget=100, include_dense=True,
+            measure_fn=fast_dense, store=store,
+        )
+        assert result.best.candidate.method == "dense"
+        assert result.best_pipeline.candidate.method == "dbbr"
+        assert store.get(result.store_key).method == "dbbr"
+
+
+class TestServeThreshold:
+    def test_crossover_found(self):
+        # Dense wins for n <= 64, pipeline wins beyond.
+        def fn(plan) -> Measurement:
+            dense = plan.tridiag is None
+            t = (0.1 if dense else 0.2) if plan.n <= 64 else (0.2 if dense else 0.1)
+            return Measurement(time_s=t, best_s=t, cv=0.0)
+
+        store = TuningStore()
+        result = search_serve_threshold(measure_fn=fn, store=store)
+        assert result.threshold == 64
+        rec = store.get(result.store_key)
+        assert rec.method == "serve"
+        assert rec.knobs == {"dense_fastpath_max_n": 64}
+        assert result.store_key.startswith("1|serve|numpy|")
+
+    def test_pipeline_always_wins_gives_zero_threshold(self):
+        def fn(plan) -> Measurement:
+            t = 0.2 if plan.tridiag is None else 0.1
+            return Measurement(time_s=t, best_s=t, cv=0.0)
+
+        assert search_serve_threshold(measure_fn=fn).threshold == 0

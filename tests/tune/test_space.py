@@ -1,0 +1,99 @@
+"""The tuning space: every candidate must be a valid, distinct plan."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.plan import PlanError, plan_evd
+from repro.tune import (
+    Candidate,
+    candidate_plan,
+    candidates,
+    default_candidate,
+    evd_candidates,
+    resolve_method,
+    serve_threshold_candidates,
+)
+from repro.tune.space import DENSE_CROSSOVER_MAX_N
+
+
+@pytest.mark.parametrize("n", [8, 16, 64, 300, 1024])
+@pytest.mark.parametrize("method", ["dbbr", "sbr", "tile", "direct"])
+def test_every_candidate_is_a_valid_plan(n, method):
+    cands = candidates(n, method)
+    assert cands, f"empty space for {method} at n={n}"
+    for cand in cands:
+        plan = candidate_plan(n, cand)  # must not raise
+        assert plan.n == n
+
+
+@pytest.mark.parametrize("n", [8, 64, 300, 1024])
+def test_dbbr_candidates_respect_plan_constraints(n):
+    for cand in candidates(n, "dbbr"):
+        knobs = cand.kwargs
+        b, k = knobs["bandwidth"], knobs["second_block"]
+        assert b <= max(n - 2, 1)
+        assert k % b == 0, "the b | k rule must hold by construction"
+        assert k <= n
+        # The planner must resolve exactly what the space generated —
+        # no silent re-clamping between search time and execution time.
+        plan = candidate_plan(n, cand)
+        assert plan.tridiag is not None
+        assert (plan.tridiag.bandwidth, plan.tridiag.second_block) == (b, k)
+
+
+@pytest.mark.parametrize("n", [8, 64, 1024])
+@pytest.mark.parametrize("method", ["dbbr", "sbr", "direct"])
+def test_candidates_are_distinct_computations(n, method):
+    tokens = [candidate_plan(n, c).cache_token() for c in candidates(n, method)]
+    assert len(tokens) == len(set(tokens))
+
+
+@pytest.mark.parametrize("method", ["proposed", "magma", "cusolver", "plasma"])
+def test_presets_resolve_to_their_raw_method(method):
+    raw = resolve_method(method)
+    assert raw in ("dbbr", "sbr", "tile", "direct")
+    assert candidates(64, method) == candidates(64, raw)
+
+
+def test_unknown_method_raises_plan_error():
+    with pytest.raises(PlanError, match="valid choices"):
+        candidates(64, "simulated-annealing")
+
+
+def test_default_candidate_matches_planner_defaults():
+    for n in (16, 64, 300):
+        cand = default_candidate(n, "dbbr")
+        explicit = candidate_plan(n, cand)
+        automatic = plan_evd(n, "dbbr")
+        assert explicit.cache_token() == automatic.cache_token()
+
+
+def test_default_candidate_always_in_space():
+    for n in (16, 64, 300):
+        assert default_candidate(n, "dbbr") in candidates(n, "dbbr")
+
+
+def test_dense_crossover_candidate_below_threshold_only():
+    small = evd_candidates(DENSE_CROSSOVER_MAX_N, "dbbr")
+    large = evd_candidates(DENSE_CROSSOVER_MAX_N + 1, "dbbr")
+    assert Candidate.make("dense") in small
+    assert Candidate.make("dense") not in large
+
+
+def test_serve_threshold_candidates_bounded():
+    ts = serve_threshold_candidates()
+    assert 0 in ts
+    assert max(ts) <= DENSE_CROSSOVER_MAX_N
+    assert ts == sorted(ts)
+
+
+def test_tiny_n_space_nonempty_and_valid():
+    for n in (2, 3, 4):
+        for cand in candidates(n, "dbbr"):
+            candidate_plan(n, cand)
+
+
+def test_empty_problem_rejected():
+    with pytest.raises(PlanError, match="empty"):
+        candidates(0, "dbbr")

@@ -1,0 +1,242 @@
+"""TuningStore durability: round trips, corruption tolerance, atomic
+concurrent writes, merge-on-write, and the typed error for unusable
+paths."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.resilience import ReproError
+from repro.tune import (
+    SCHEMA_VERSION,
+    TuneRecord,
+    TuneStoreError,
+    TuneStoreWarning,
+    TuningStore,
+    default_db_path,
+    device_fingerprint,
+    lookup_tuned_knobs,
+    n_bucket,
+    record_key,
+    tune_stats,
+)
+
+
+def _rec(time_s=1.0, **knobs) -> TuneRecord:
+    return TuneRecord(
+        method="dbbr",
+        knobs=knobs or {"bandwidth": 8, "second_block": 32},
+        time_s=time_s,
+        cv=0.05,
+        n=64,
+        created="2026-08-08T00:00:00+0000",
+    )
+
+
+class TestKeying:
+    def test_n_bucket_powers_of_two(self):
+        assert [n_bucket(n) for n in (1, 2, 3, 64, 65, 1000, 1024)] == [
+            1, 2, 4, 64, 128, 1024, 1024,
+        ]
+
+    def test_record_key_fields(self):
+        key = record_key(300, "dbbr", "numpy", device="dev", dtype="float64")
+        assert key == "512|dbbr|numpy|dev|float64"
+
+    def test_device_fingerprint_stable_and_filesystem_safe(self):
+        fp = device_fingerprint()
+        assert fp == device_fingerprint()
+        assert fp
+        assert " " not in fp and "|" not in fp
+
+
+class TestRoundTrip:
+    def test_save_load_round_trip(self, isolated_tune_db):
+        store = TuningStore.load()
+        assert store.path == isolated_tune_db == default_db_path()
+        key = store.put(64, "dbbr", "numpy", _rec())
+        store.save()
+        again = TuningStore.load()
+        assert again.get(key) == _rec()
+
+    def test_round_trip_is_deterministic(self, isolated_tune_db):
+        """Identical recorded measurements -> byte-identical database."""
+        for _ in range(2):
+            store = TuningStore(isolated_tune_db)
+            store.put(64, "dbbr", "numpy", _rec())
+            store.put(256, "sbr", "numpy", _rec(time_s=2.0, bandwidth=16))
+            store.save()
+            text = isolated_tune_db.read_text()
+            store2 = TuningStore(isolated_tune_db)
+            store2.records = dict(TuningStore.load().records)
+            store2.save()
+            assert isolated_tune_db.read_text() == text
+
+    def test_put_keeps_faster_record(self):
+        store = TuningStore()
+        key = store.put(64, "dbbr", "numpy", _rec(time_s=2.0))
+        store.put(64, "dbbr", "numpy", _rec(time_s=1.0))
+        assert store.get(key).time_s == 1.0
+        store.put(64, "dbbr", "numpy", _rec(time_s=5.0))
+        assert store.get(key).time_s == 1.0
+        store.put(64, "dbbr", "numpy", _rec(time_s=5.0), force=True)
+        assert store.get(key).time_s == 5.0
+
+    def test_export_import(self, tmp_path):
+        src = TuningStore(tmp_path / "a.json")
+        src.put(64, "dbbr", "numpy", _rec())
+        dst = TuningStore(tmp_path / "b.json")
+        assert dst.import_json(src.export_json()) == 1
+        assert len(dst) == 1
+
+    def test_import_bad_document_raises_typed_error(self, tmp_path):
+        store = TuningStore(tmp_path / "c.json")
+        with pytest.raises(TuneStoreError):
+            store.import_json("this is not json")
+        with pytest.raises(TuneStoreError):
+            store.import_json(json.dumps({"schema_version": SCHEMA_VERSION + 1}))
+
+
+class TestCorruptionTolerance:
+    """Broken databases must degrade to empty-with-warning, never raise."""
+
+    def test_missing_file_is_silently_empty(self, isolated_tune_db):
+        assert not isolated_tune_db.exists()
+        assert len(TuningStore.load()) == 0
+
+    @pytest.mark.parametrize(
+        "content",
+        [
+            "",  # truncated to nothing
+            '{"schema_version": 1, "records": {',  # truncated mid-document
+            "\x00\x01garbage\xff",  # binary garbage
+            "[1, 2, 3]",  # wrong top-level type
+            '{"records": {}}',  # missing schema version
+        ],
+        ids=["empty", "truncated", "garbage", "wrong-type", "no-version"],
+    )
+    def test_corrupt_file_loads_empty_with_warning(self, isolated_tune_db, content):
+        isolated_tune_db.write_text(content)
+        with pytest.warns(TuneStoreWarning):
+            store = TuningStore.load()
+        assert len(store) == 0
+
+    def test_future_schema_loads_empty_with_warning(self, isolated_tune_db):
+        doc = {"schema_version": SCHEMA_VERSION + 1, "records": {"k": _rec().to_dict()}}
+        isolated_tune_db.write_text(json.dumps(doc))
+        with pytest.warns(TuneStoreWarning, match="schema"):
+            assert len(TuningStore.load()) == 0
+
+    def test_malformed_record_skipped_healthy_kept(self, isolated_tune_db):
+        good_key = record_key(64, "dbbr", "numpy")
+        doc = {
+            "schema_version": SCHEMA_VERSION,
+            "records": {
+                good_key: _rec().to_dict(),
+                "bad-1": {"method": "dbbr"},  # no knobs/time
+                "bad-2": {"method": "dbbr", "knobs": "not-a-dict", "time_s": 1.0},
+            },
+        }
+        isolated_tune_db.write_text(json.dumps(doc))
+        with pytest.warns(TuneStoreWarning, match="malformed"):
+            store = TuningStore.load()
+        assert len(store) == 1
+        assert store.get(good_key) is not None
+
+    def test_save_over_corrupt_file_heals_it(self, isolated_tune_db):
+        isolated_tune_db.write_text("garbage{{{")
+        store = TuningStore(isolated_tune_db)
+        store.put(64, "dbbr", "numpy", _rec())
+        with pytest.warns(TuneStoreWarning):
+            store.save()
+        assert len(TuningStore.load()) == 1
+
+    def test_lookup_never_raises_on_corruption(self, isolated_tune_db):
+        isolated_tune_db.write_text("garbage")
+        with pytest.warns(TuneStoreWarning):
+            assert lookup_tuned_knobs(64, "dbbr") is None
+        assert tune_stats()["misses"] >= 1
+
+
+class TestUnusablePath:
+    def test_save_into_directory_raises_tune_store_error(self, tmp_path):
+        store = TuningStore(tmp_path)  # the "file" is a directory
+        store.put(64, "dbbr", "numpy", _rec())
+        with pytest.warns(TuneStoreWarning):  # merge-on-write read warns first
+            with pytest.raises(TuneStoreError):
+                store.save()
+
+    def test_tune_store_error_is_a_repro_error(self):
+        assert issubclass(TuneStoreError, ReproError)
+        assert issubclass(TuneStoreError, OSError)
+
+
+class TestConcurrency:
+    def test_merge_on_write_accumulates_other_writers(self, isolated_tune_db):
+        a = TuningStore.load()
+        b = TuningStore.load()
+        a.put(64, "dbbr", "numpy", _rec())
+        b.put(256, "sbr", "numpy", _rec(bandwidth=16))
+        a.save()
+        b.save()  # must merge a's record, not clobber it
+        merged = TuningStore.load()
+        assert len(merged) == 2
+
+    def test_concurrent_writers_leave_a_valid_database(self, isolated_tune_db):
+        """N threads hammering save() must never produce a torn file."""
+        errors = []
+
+        def writer(i: int) -> None:
+            try:
+                store = TuningStore.load()
+                store.put(2 ** (6 + i % 4), "dbbr", "numpy", _rec(time_s=1.0 + i))
+                store.save()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # The file parses (atomic replace: readers never see a torn write)
+        doc = json.loads(isolated_tune_db.read_text())
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert len(TuningStore.load()) >= 1
+
+    def test_lookup_reflects_fresh_writes_despite_read_cache(self, isolated_tune_db):
+        store = TuningStore.load()
+        store.put(64, "dbbr", "numpy", _rec(bandwidth=8, second_block=32))
+        store.save()
+        assert lookup_tuned_knobs(64, "dbbr") == {"bandwidth": 8, "second_block": 32}
+        store.put(64, "dbbr", "numpy", _rec(time_s=0.5, bandwidth=16, second_block=64))
+        store.save()
+        assert lookup_tuned_knobs(64, "dbbr") == {"bandwidth": 16, "second_block": 64}
+
+
+class TestStats:
+    def test_hit_and_miss_counters(self, isolated_tune_db):
+        assert lookup_tuned_knobs(64, "dbbr") is None
+        store = TuningStore.load()
+        store.put(64, "dbbr", "numpy", _rec())
+        store.save()
+        assert lookup_tuned_knobs(64, "dbbr") is not None
+        s = tune_stats()
+        assert s["misses"] == 1 and s["hits"] == 1
+
+    def test_records_json_roundtrip_numpy_scalars(self, isolated_tune_db):
+        """Knob values arriving as numpy ints must still serialize."""
+        store = TuningStore.load()
+        store.put(
+            64, "dbbr", "numpy",
+            TuneRecord(method="dbbr", knobs={"bandwidth": int(np.int64(8))}, time_s=1.0),
+        )
+        store.save()
+        assert TuningStore.load().get(record_key(64, "dbbr", "numpy")).knobs == {
+            "bandwidth": 8
+        }
