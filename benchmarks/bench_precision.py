@@ -1,0 +1,150 @@
+"""Mixed precision vs fp64 — the fp32 pipeline + refinement speed/accuracy
+trade.
+
+Runs the full ``proposed`` EVD pipeline at each size under the
+``"fp64"`` and ``"mixed"`` precision policies on the same GOE matrix and
+reports, per size: total wall time, the tridiagonalization-stage time
+(the paper's kernel — where fp32 SYR2K/GEMM throughput pays), the
+fp64-measured residual and orthogonality error of the final result, and
+the refinement sweep count.  ``[measured]`` wall time.
+
+Acceptance gate (full mode): the mixed policy's *tridiagonalization
+stage* is >= 1.5x faster than fp64 at n = 1024, while the refined result
+still passes ``verify_evd`` at fp64 tolerances.
+
+Run directly (CI smoke mode finishes in seconds):
+
+    PYTHONPATH=src python benchmarks/bench_precision.py [--smoke]
+
+Writes ``benchmarks/out/BENCH_precision.json`` (full mode only, or with
+``--json`` forced) with the accuracy columns alongside the timings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import time
+
+import numpy as np
+
+from repro.backend.context import ExecutionContext
+from repro.bench.reporting import banner, write_json_artifact
+from repro.bench.workloads import goe
+from repro.plan import plan_evd
+from repro.plan.runner import execute_plan
+from repro.resilience import verify_evd
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+FULL_NS = (256, 512, 1024)
+SMOKE_NS = (96, 160)
+
+#: Acceptance gate: mixed tridiag-stage speedup at the largest full size.
+TRIDIAG_SPEEDUP_GATE = 1.5
+
+
+def _run_one(A: np.ndarray, precision: str) -> dict:
+    """One full pipeline execution; returns timing + accuracy columns."""
+    n = A.shape[0]
+    ctx = ExecutionContext(backend="numpy")
+    plan = plan_evd(n, "proposed", precision=precision)
+    t0 = time.perf_counter()
+    res = execute_plan(A, plan, ctx=ctx)
+    total = time.perf_counter() - t0
+    norm = float(np.linalg.norm(A))
+    V, lam = res.eigenvectors, res.eigenvalues
+    residual = float(np.linalg.norm(A @ V - V * lam[None, :])) / norm
+    orth = float(np.linalg.norm(V.T @ V - np.eye(n)))
+    report = verify_evd(A, res)
+    ref = res.refinement
+    return {
+        "precision": precision,
+        "n": n,
+        "total_s": total,
+        "tridiag_s": ctx.stage_times.get("tridiagonalize", 0.0),
+        "solver_s": ctx.stage_times.get("tridiag_solver", 0.0),
+        "back_transform_s": ctx.stage_times.get("back_transform", 0.0),
+        "refine_s": ctx.stage_times.get("refine_evd", 0.0),
+        "residual": residual,
+        "orth_error": orth,
+        "verify_ok": bool(report.ok),
+        "refine_iterations": 0 if ref is None else int(ref.iterations),
+        "escalated": False if ref is None else bool(ref.escalated),
+    }
+
+
+def run(smoke: bool = False, write_json: bool | None = None) -> dict:
+    ns = SMOKE_NS if smoke else FULL_NS
+    print(banner("Mixed precision vs fp64 (proposed pipeline)", "measured"))
+    rows = []
+    for n in ns:
+        A = goe(n, seed=n)
+        r64 = _run_one(A, "fp64")
+        rmx = _run_one(A, "mixed")
+        rows.append({"fp64": r64, "mixed": rmx})
+    print(f"  {'n':>6} | {'fp64 tridiag':>12} | {'mixed tridiag':>13} | "
+          f"{'speedup':>7} | {'mixed resid':>11} | {'orth':>9} | sweeps")
+    for row in rows:
+        r64, rmx = row["fp64"], row["mixed"]
+        sp = r64["tridiag_s"] / max(rmx["tridiag_s"], 1e-12)
+        row["tridiag_speedup"] = sp
+        print(f"  {r64['n']:>6} | {r64['tridiag_s']:>11.3f}s | "
+              f"{rmx['tridiag_s']:>12.3f}s | {sp:>6.2f}x | "
+              f"{rmx['residual']:>11.2e} | {rmx['orth_error']:>9.2e} | "
+              f"{rmx['refine_iterations']}")
+    payload = {
+        "provenance": "measured",
+        "smoke": smoke,
+        "pipeline": "proposed",
+        "gate_tridiag_speedup": TRIDIAG_SPEEDUP_GATE,
+        "rows": rows,
+    }
+    if write_json if write_json is not None else not smoke:
+        path = write_json_artifact(OUT_DIR, "precision", payload)
+        print(f"\nartifact: {path}")
+    last = rows[-1]
+    print(f"\nheadline: {last['tridiag_speedup']:.2f}x tridiag-stage speedup "
+          f"at n = {last['fp64']['n']} "
+          f"(target {'—' if smoke else f'{TRIDIAG_SPEEDUP_GATE}x'}), "
+          f"mixed verify {'OK' if last['mixed']['verify_ok'] else 'FAILED'}")
+    return payload
+
+
+def test_precision_smoke(report):
+    """Benchmark-suite entry: mixed must stay fp64-accurate even at smoke
+    scale (the speedup gate only applies at full scale)."""
+    payload = run(smoke=True, write_json=False)
+    for row in payload["rows"]:
+        assert row["mixed"]["verify_ok"]
+        assert not row["mixed"]["escalated"]
+        assert row["fp64"]["verify_ok"]
+    last = payload["rows"][-1]
+    report(f"{last['tridiag_speedup']:.2f}x tridiag speedup at "
+           f"n={last['fp64']['n']}, mixed residual "
+           f"{last['mixed']['residual']:.2e}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="small sizes, no JSON artifact (CI gate)")
+    ap.add_argument("--json", action="store_true",
+                    help="write the JSON artifact even in smoke mode")
+    args = ap.parse_args(argv)
+    payload = run(smoke=args.smoke, write_json=args.json or None)
+    for row in payload["rows"]:
+        if not row["mixed"]["verify_ok"]:
+            print("FAIL: mixed result did not pass fp64 verification")
+            return 1
+    if not args.smoke:
+        last = payload["rows"][-1]
+        if last["tridiag_speedup"] < TRIDIAG_SPEEDUP_GATE:
+            print(f"FAIL: tridiag speedup {last['tridiag_speedup']:.2f}x "
+                  f"< {TRIDIAG_SPEEDUP_GATE}x at n = {last['fp64']['n']}")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,6 +43,13 @@ Public API highlights
 ``repro.gpusim`` / ``repro.models``
     The calibrated GPU performance simulator and the analytical models
     that regenerate the paper's tables and figures at device scale.
+``repro.precision``
+    Mixed-precision execution: ``eigh(A, precision="mixed")`` runs the
+    two-stage reduction and D&C eigenvector GEMMs in fp32, promotes,
+    and iteratively refines the eigenpairs (Ogita–Aishima) back to fp64
+    ``verify_evd`` tolerances — escalating to the full fp64 pipeline if
+    refinement stalls.  :class:`~repro.precision.PrecisionPolicy`
+    presets: ``"fp64"`` (bit-identical default), ``"mixed"``, ``"fp32"``.
 ``repro.tune``
     Empirical autotuning with a persistent per-device tuning database:
     ``repro tune search`` measures candidate configurations (seeded
@@ -53,7 +60,7 @@ Public API highlights
     the explicit knob spelling.
 """
 
-from . import backend, band, core, eig, plan, resilience, serve, tune
+from . import backend, band, core, eig, plan, precision, resilience, serve, tune
 from .backend import (
     ArrayBackend,
     BackendUnavailable,
@@ -76,6 +83,13 @@ from .core import (
 )
 from .eig import dc_eigh, eigh_bisect, tridiag_qr_eigh
 from .plan import EVDPlan, PlanError, execute_plan, explain_plan, plan_evd
+from .precision import (
+    PrecisionPolicy,
+    PrecisionWarning,
+    RefinementReport,
+    RefinementStalled,
+    refine_eigh,
+)
 from .resilience import (
     ConvergenceError,
     ReproError,
@@ -97,6 +111,10 @@ __all__ = [
     "EVDResult",
     "ExecutionContext",
     "PlanError",
+    "PrecisionPolicy",
+    "PrecisionWarning",
+    "RefinementReport",
+    "RefinementStalled",
     "ReproError",
     "TridiagResult",
     "VerificationError",
@@ -120,6 +138,8 @@ __all__ = [
     "matrix_fingerprint",
     "plan",
     "plan_evd",
+    "precision",
+    "refine_eigh",
     "resilience",
     "sbr",
     "serve",

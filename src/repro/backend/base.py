@@ -121,13 +121,21 @@ def assert_f64(x: Any, what: str = "array") -> None:
     """Kernel-side dtype contract: *assert*, never convert.
 
     Entry points (:func:`repro.core.tridiag.tridiagonalize`,
-    :func:`repro.core.evd.eigh`) coerce inputs to float64 exactly once;
-    inner kernels only verify, so a dtype bug surfaces at its source
-    instead of being papered over by per-call ``asarray`` copies.
+    :func:`repro.core.evd.eigh`) coerce inputs to the working precision
+    exactly once — float64 by default, float32 under a mixed-precision
+    policy; inner kernels only verify, so a dtype bug (an integer array,
+    a complex leak) surfaces at its source instead of being papered over
+    by per-call ``asarray`` copies.  The name is historical: the accepted
+    working widths are float64 and float32.
     """
     dt = getattr(x, "dtype", None)
-    if dt is None or str(dt) not in ("float64", "torch.float64"):
+    if dt is None or str(dt) not in (
+        "float64",
+        "torch.float64",
+        "float32",
+        "torch.float32",
+    ):
         raise TypeError(
-            f"{what} must already be float64 (got dtype={dt!r}); coerce at "
-            "the tridiagonalize/eigh entry point, not inside kernels"
+            f"{what} must already be float64 or float32 (got dtype={dt!r}); "
+            "coerce at the tridiagonalize/eigh entry point, not inside kernels"
         )

@@ -105,14 +105,18 @@ class WorkspacePool:
 
     def stack(self, tag: str, shape: tuple[int, ...], dtype=np.float64) -> Any:
         self._assert_owner()
-        buf = self._buffers.get(tag)
+        # Buffers are keyed by (tag, dtype): a mixed-precision pipeline
+        # interleaving fp32 kernel scratch with fp64 secular scratch must
+        # never be handed a buffer of the other width.
+        key = f"{tag}|{np.dtype(dtype).name}"
+        buf = self._buffers.get(key)
         if (
             buf is None
             or tuple(buf.shape[1:]) != tuple(shape[1:])
             or buf.shape[0] < shape[0]
         ):
             buf = self._backend.xp.empty(shape, dtype=dtype)
-            self._buffers[tag] = buf
+            self._buffers[key] = buf
         return buf[: shape[0]]
 
     def matrix(self, tag: str, shape: tuple[int, ...], dtype=np.float64) -> Any:

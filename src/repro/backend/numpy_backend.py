@@ -23,6 +23,12 @@ class NumpyBackend(ArrayBackend):
     is_host = True
 
     def asarray(self, x) -> np.ndarray:
+        # Preserve an explicit float32/float64 working precision (the
+        # mixed-precision pipeline runs fp32 on this backend); any other
+        # dtype is coerced to the historical float64.
+        x = np.asarray(x)
+        if x.dtype in (np.float32, np.float64):
+            return x
         return np.asarray(x, dtype=np.float64)
 
     def from_numpy(self, x: np.ndarray) -> np.ndarray:

@@ -42,7 +42,9 @@ class LowerBandStorage:
     """
 
     def __init__(self, ab: np.ndarray, bandwidth: int):
-        ab = np.asarray(ab, dtype=np.float64)
+        ab = np.asarray(ab)
+        if ab.dtype not in (np.float32, np.float64):
+            ab = ab.astype(np.float64)
         if ab.ndim != 2 or ab.shape[0] != bandwidth + 1:
             raise ValueError(
                 f"ab must be (b+1) x n with b={bandwidth}, got {ab.shape}"
@@ -55,10 +57,12 @@ class LowerBandStorage:
     def from_dense(cls, A: np.ndarray, bandwidth: int) -> "LowerBandStorage":
         """Extract the lower band of symmetric ``A`` (entries outside the
         band are ignored, callers should validate separately if needed)."""
-        A = np.asarray(A, dtype=np.float64)
+        A = np.asarray(A)
+        if A.dtype not in (np.float32, np.float64):
+            A = A.astype(np.float64)
         n = A.shape[0]
         b = int(bandwidth)
-        ab = np.zeros((b + 1, n), dtype=np.float64)
+        ab = np.zeros((b + 1, n), dtype=A.dtype)
         for i in range(b + 1):
             ab[i, : n - i] = np.diagonal(A, -i)
         return cls(ab, b)
@@ -66,7 +70,7 @@ class LowerBandStorage:
     def to_dense(self) -> np.ndarray:
         """Materialize the full symmetric dense matrix."""
         n, b = self.n, self.b
-        A = np.zeros((n, n), dtype=np.float64)
+        A = np.zeros((n, n), dtype=self.ab.dtype)
         for i in range(b + 1):
             idx = np.arange(n - i)
             A[idx + i, idx] = self.ab[i, : n - i]
@@ -109,20 +113,25 @@ class PackedBandStorage:
     """
 
     def __init__(self, data: np.ndarray, offsets: np.ndarray, n: int, bandwidth: int):
-        self.data = np.asarray(data, dtype=np.float64)
+        data = np.asarray(data)
+        if data.dtype not in (np.float32, np.float64):
+            data = data.astype(np.float64)
+        self.data = data
         self.offsets = np.asarray(offsets, dtype=np.int64)
         self.n = int(n)
         self.b = int(bandwidth)
 
     @classmethod
     def from_dense(cls, A: np.ndarray, bandwidth: int) -> "PackedBandStorage":
-        A = np.asarray(A, dtype=np.float64)
+        A = np.asarray(A)
+        if A.dtype not in (np.float32, np.float64):
+            A = A.astype(np.float64)
         n = A.shape[0]
         b = int(bandwidth)
         lengths = np.minimum(b + 1, n - np.arange(n))
         offsets = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(lengths, out=offsets[1:])
-        data = np.zeros(int(offsets[-1]), dtype=np.float64)
+        data = np.zeros(int(offsets[-1]), dtype=A.dtype)
         for j in range(n):
             lj = int(lengths[j])
             data[offsets[j] : offsets[j] + lj] = A[j : j + lj, j]
@@ -134,7 +143,7 @@ class PackedBandStorage:
         lengths = np.minimum(b + 1, n - np.arange(n))
         offsets = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(lengths, out=offsets[1:])
-        data = np.zeros(int(offsets[-1]), dtype=np.float64)
+        data = np.zeros(int(offsets[-1]), dtype=lb.ab.dtype)
         for j in range(n):
             lj = int(lengths[j])
             data[offsets[j] : offsets[j] + lj] = lb.ab[:lj, j]
@@ -145,7 +154,7 @@ class PackedBandStorage:
         return self.data[self.offsets[j] : self.offsets[j + 1]]
 
     def to_lower_band(self) -> LowerBandStorage:
-        ab = np.zeros((self.b + 1, self.n), dtype=np.float64)
+        ab = np.zeros((self.b + 1, self.n), dtype=self.data.dtype)
         for j in range(self.n):
             col = self.column(j)
             ab[: col.size, j] = col
@@ -195,7 +204,8 @@ class BandWindowBatcher:
         self.ctx = resolve_context(ctx)
         if self.ctx.is_numpy and not isinstance(data, np.ndarray):
             raise ValueError(
-                "data must be a C-contiguous float64 (depth+1) x n band array"
+                "data must be a C-contiguous float64/float32 "
+                "(depth+1) x n band array"
             )
         flags = getattr(data, "flags", None)
         contiguous = (
@@ -203,13 +213,22 @@ class BandWindowBatcher:
         )
         if (
             getattr(data, "ndim", 0) != 2
-            or str(data.dtype) not in ("float64", "torch.float64")
+            or str(data.dtype)
+            not in ("float64", "torch.float64", "float32", "torch.float32")
             or not contiguous
         ):
             raise ValueError(
-                "data must be a C-contiguous float64 (depth+1) x n band array"
+                "data must be a C-contiguous float64/float32 "
+                "(depth+1) x n band array"
             )
         self.data = data
+        # Host-side dtype of the band values (pool buffers and gather
+        # masks must match the band's working precision).
+        self._np_dtype = (
+            np.dtype(np.float32)
+            if str(data.dtype).endswith("float32")
+            else np.dtype(np.float64)
+        )
         self.depth = data.shape[0] - 1
         self.n = data.shape[1]
         self._flat = data.reshape(-1)
@@ -227,7 +246,7 @@ class BandWindowBatcher:
             # Dense entry (i, j) of a window at lo lives at
             # data[|i-j|, lo + min(i, j)]; beyond the stored depth it is 0.
             gather_flat = np.minimum(r, self.depth) * self.n + np.minimum(i, j)
-            mask = (r <= self.depth).astype(np.float64)
+            mask = (r <= self.depth).astype(self._np_dtype)
             si, sj = np.nonzero((i - j >= 0) & (i - j <= self.depth))
             scatter_flat = (si - sj) * self.n + sj
             if self.ctx.is_numpy:
@@ -256,7 +275,9 @@ class BandWindowBatcher:
         los = np.asarray(los, dtype=np.int64)
         gather_flat, mask, *_ = self._template(w)
         idx = self._idx_buffer(los.size, w)
-        stack = self.ctx.workspace.stack(f"bwb.{w}", (los.size, w, w))
+        stack = self.ctx.workspace.stack(
+            f"bwb.{w}", (los.size, w, w), dtype=self._np_dtype
+        )
         np.add(gather_flat[None, :, :], los[:, None, None], out=idx)
         xp = self.ctx.xp
         idx_x = idx if self.ctx.is_numpy else self.ctx.from_numpy(idx)

@@ -66,6 +66,12 @@ def build_parser() -> argparse.ArgumentParser:
     evd.add_argument("--backend", default="numpy",
                      choices=["numpy", "cupy", "torch", "auto"],
                      help="array backend for the hot-path kernels")
+    evd.add_argument("--precision", default="fp64",
+                     choices=["fp64", "mixed", "fp32"],
+                     help="working-precision policy: fp64 (bit-identical "
+                          "default), mixed (fp32 pipeline + fp64 iterative "
+                          "refinement), fp32 (fp32 throughout, relaxed "
+                          "tolerances)")
     evd.add_argument("--fallback", default="none", choices=["none", "chain"],
                      help="'chain' escalates a failed or unverifiable solve "
                           "down the fallback chain (dense, then QR iteration)")
@@ -104,6 +110,9 @@ def build_parser() -> argparse.ArgumentParser:
     pl.add_argument("--no-vectors", action="store_true")
     pl.add_argument("--backend", default="numpy",
                     choices=["numpy", "cupy", "torch", "auto"])
+    pl.add_argument("--precision", default="fp64",
+                    choices=["fp64", "mixed", "fp32"],
+                    help="working-precision policy (see 'repro evd')")
     pl.add_argument("--bandwidth", type=int, default=None)
     pl.add_argument("--second-block", type=int, default=None)
     pl.add_argument("--max-sweeps", type=int, default=None)
@@ -233,7 +242,8 @@ def _cmd_evd(args) -> int:
     try:
         res = repro.eigh(A, method=args.method, solver=args.solver,
                          compute_vectors=not args.no_vectors,
-                         backend=args.backend, fallback=args.fallback)
+                         backend=args.backend, fallback=args.fallback,
+                         precision=args.precision)
     except repro.ReproError as exc:
         print(f"EVD failed: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 1
@@ -244,6 +254,12 @@ def _cmd_evd(args) -> int:
     tri_backend = res.tridiag.backend if res.tridiag is not None else args.backend
     print(f"EVD ({args.method}/{args.solver}) of {args.n} x {args.n} "
           f"in {dt:.2f} s  [backend: {tri_backend}]")
+    if res.refinement is not None:
+        ref = res.refinement
+        state = "escalated to fp64" if ref.escalated else (
+            "converged" if ref.converged else "stalled")
+        print(f"  precision {args.precision}: {ref.iterations} refinement "
+              f"sweep(s), {state}")
     print(f"  eigenvalue range: [{res.eigenvalues[0]:.6g}, "
           f"{res.eigenvalues[-1]:.6g}]")
     err = np.max(np.abs(res.eigenvalues - np.linalg.eigvalsh(A)))
@@ -319,6 +335,7 @@ def _cmd_plan(args) -> int:
             backend=args.backend,
             tuning=args.tuning,
             device=args.device,
+            precision=args.precision,
             **knobs,
         )
     except PlanError as exc:

@@ -51,8 +51,9 @@ def _embed(
     trailing windows share one row space (the padding preserves the
     product algebra exactly)."""
     xp = ctx.xp
-    W = xp.zeros((n, block.width), dtype=np.float64)
-    Y = xp.zeros((n, block.width), dtype=np.float64)
+    dt = block.W.dtype if block.W.dtype in (np.float32, np.float64) else np.float64
+    W = xp.zeros((n, block.width), dtype=dt)
+    Y = xp.zeros((n, block.width), dtype=dt)
     W[block.offset :] = ctx.from_numpy(block.W)
     Y[block.offset :] = ctx.from_numpy(block.Y)
     return W, Y
@@ -229,7 +230,9 @@ def assemble_eigenvectors(
     backend.
     """
     ctx = resolve_context(ctx)
-    V = np.array(U, dtype=np.float64, copy=True)
+    U = np.asarray(U)
+    dt = U.dtype if U.dtype in (np.float32, np.float64) else np.float64
+    V = np.array(U, dtype=dt, copy=True)
     bc.apply_q1(V)
     apply_sbr_q(blocks, V, method=method, group_width=group_width, ctx=ctx)
     return V

@@ -182,7 +182,7 @@ class WavefrontBCResult(BulgeChasingResult):
         n = X.shape[0]
         pad = self.row_pad
         if pad:
-            Xw = np.zeros((n + pad, X.shape[1]), dtype=np.float64)
+            Xw = np.zeros((n + pad, X.shape[1]), dtype=X.dtype)
             Xw[:n] = X
         else:
             Xw = X
@@ -241,11 +241,14 @@ class _RoundKernel:
     backend, together with the gathered values it addresses.
     """
 
-    def __init__(self, b: int, npad: int, ctx: ExecutionContext):
+    def __init__(self, b: int, npad: int, ctx: ExecutionContext, dtype=np.float64):
         self.b = b
         self.w = 3 * b
         self.ctx = ctx
         self.xp = ctx.xp
+        # Host-side working dtype of the band values: the round buffers
+        # and reflector stacks must match the band's precision.
+        self.dtype = np.dtype(dtype)
         self._dump = 2 * b * npad  # flat slot in the never-touched row 2b
         self.chase_tmpl = self._template(npad, sl=b, wn=3 * b)
         self.start_tmpl = self._template(npad, sl=1, wn=2 * b + 1)
@@ -269,14 +272,15 @@ class _RoundKernel:
             # Host index stack (schedule math is host-side by design).
             self._pi = np.empty((S, b, w), dtype=np.int64)
             # Value stacks on the backend, pooled across rounds.
-            self._pv = pool.stack("bc.pv", (S, b, w))
-            self._wr = pool.stack("bc.wr", (S, 1, w))
-            self._u = pool.stack("bc.u", (S, b, 1))
-            self._tmp = pool.stack("bc.tmp", (S, b, w))
-            self._hv = pool.stack("bc.hv", (S, b))
+            dt = self.dtype
+            self._pv = pool.stack("bc.pv", (S, b, w), dtype=dt)
+            self._wr = pool.stack("bc.wr", (S, 1, w), dtype=dt)
+            self._u = pool.stack("bc.u", (S, b, 1), dtype=dt)
+            self._tmp = pool.stack("bc.tmp", (S, b, w), dtype=dt)
+            self._hv = pool.stack("bc.hv", (S, b), dtype=dt)
             self._hv[:, 0] = 1.0
-            self._tv = pool.stack("bc.tv", (S, b))
-            self._sg = pool.stack("bc.sg", (S, 1, 1))
+            self._tv = pool.stack("bc.tv", (S, b), dtype=dt)
+            self._sg = pool.stack("bc.sg", (S, 1, 1), dtype=dt)
             self._cap = S
 
     def run(
@@ -366,7 +370,7 @@ class _RoundKernel:
         x1 = P[1:, 0]
         sigma = x1 @ x1
         alpha = P[0, 0]
-        v = xp.empty(b, dtype=np.float64)
+        v = xp.empty(b, dtype=self.dtype)
         v[0] = 1.0
         if sigma != 0.0:
             beta = -xp.copysign(xp.sqrt(alpha * alpha + sigma), alpha)
@@ -374,7 +378,7 @@ class _RoundKernel:
             tau = (beta - alpha) / beta
         else:
             v[1:] = 0.0
-            tau, beta = xp.zeros((), dtype=np.float64), alpha
+            tau, beta = xp.zeros((), dtype=self.dtype), alpha
         tv = tau * v
         P -= tv[:, None] * (v @ P)[None, :]
         D = P[:, w - b :]
@@ -480,7 +484,10 @@ def bulge_chase_wavefront(
     # The working band is backend-resident: every round executes in place
     # on it and only the reflector stacks come back to the host.
     npad = n + 3 * bw
-    work = xp.zeros((2 * bw + 1, npad), dtype=np.float64)
+    # lb.ab is always a host array, so its dtype is the working precision
+    # (np.float64 historically, np.float32 under a mixed policy).
+    band_dtype = lb.ab.dtype
+    work = xp.zeros((2 * bw + 1, npad), dtype=band_dtype)
     work[: bw + 1, :n] = ctx.from_numpy(np.ascontiguousarray(lb.ab))
     # The kernels rely on out-of-matrix slots reading 0; enforce the
     # storage contract on the trailing entries (ab[i, j], i + j >= n).
@@ -492,7 +499,7 @@ def bulge_chase_wavefront(
     flops = 0.0
     if bw >= 2 and n >= 3:
         flops = _total_chase_flops(n, bw)
-        kernel = _RoundKernel(bw, npad, ctx)
+        kernel = _RoundKernel(bw, npad, ctx, dtype=band_dtype)
 
         def run_round(
             chase_los: np.ndarray,

@@ -262,7 +262,9 @@ def bulge_chase(
     ctx = resolve_context(ctx)
     if not ctx.is_numpy and ctx.backend.owns(band):
         band = ctx.to_numpy(band)
-    A = np.array(band, dtype=np.float64, copy=True)
+    band = np.asarray(band)
+    dt = band.dtype if band.dtype in (np.float32, np.float64) else np.float64
+    A = np.array(band, dtype=dt, copy=True)
     n = A.shape[0]
     if b < 1:
         raise ValueError("bandwidth must be >= 1")

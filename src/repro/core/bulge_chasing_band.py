@@ -49,13 +49,13 @@ class WorkingBand:
         self.n = band.n
         self.b = band.b
         self.depth = 2 * band.b  # max sub-diagonal index with fill
-        self.data = np.zeros((self.depth + 1, self.n), dtype=np.float64)
+        self.data = np.zeros((self.depth + 1, self.n), dtype=band.ab.dtype)
         self.data[: band.b + 1] = band.ab
 
     def window_to_dense(self, lo: int, hi: int) -> np.ndarray:
         """Materialize the symmetric window ``A[lo:hi, lo:hi]`` densely."""
         w = hi - lo
-        D = np.zeros((w, w), dtype=np.float64)
+        D = np.zeros((w, w), dtype=self.data.dtype)
         for ddiag in range(min(self.depth, w - 1) + 1):
             cols = np.arange(lo, hi - ddiag)
             vals = self.data[ddiag, cols]
@@ -89,7 +89,9 @@ def _coerce_band(band, b: int | None) -> LowerBandStorage:
         return band
     if isinstance(band, PackedBandStorage):
         return band.to_lower_band()
-    A = np.asarray(band, dtype=np.float64)
+    A = np.asarray(band)
+    if A.dtype not in (np.float32, np.float64):
+        A = A.astype(np.float64)
     if A.ndim != 2 or A.shape[0] != A.shape[1]:
         raise ValueError("band must be LowerBandStorage, PackedBandStorage, "
                          "or a square dense array")

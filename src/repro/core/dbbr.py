@@ -120,8 +120,8 @@ def dbbr(
         kk = min(k, nelim - i)
         # Global-row accumulators for this outer block (zero above each
         # panel's own starting row, so one GEMM covers all panels).
-        Yacc = xp.zeros((n, 0), dtype=np.float64)
-        Zacc = xp.zeros((n, 0), dtype=np.float64)
+        Yacc = xp.zeros((n, 0), dtype=A.dtype)
+        Zacc = xp.zeros((n, 0), dtype=A.dtype)
 
         j = i
         while j < i + kk:
@@ -164,8 +164,8 @@ def dbbr(
             Z = P - 0.5 * Yd @ (Wd.T @ P)
             flops += 4.0 * m * bw * bw
 
-            Yg = xp.zeros((n, bw), dtype=np.float64)
-            Zg = xp.zeros((n, bw), dtype=np.float64)
+            Yg = xp.zeros((n, bw), dtype=A.dtype)
+            Zg = xp.zeros((n, bw), dtype=A.dtype)
             Yg[rows] = Yd
             Zg[rows] = Z
             Yacc = xp.hstack([Yacc, Yg])

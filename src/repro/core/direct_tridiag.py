@@ -86,11 +86,13 @@ def direct_tridiagonalize(A: np.ndarray, block: int = 32) -> DirectTridiagResult
     -------
     DirectTridiagResult
     """
-    A = np.array(A, dtype=np.float64, copy=True)
+    A = np.asarray(A)
+    dt = A.dtype if A.dtype in (np.float32, np.float64) else np.float64
+    A = np.array(A, dtype=dt, copy=True)
     n = A.shape[0]
     nb = max(1, int(block))
-    V = np.zeros((n, max(n - 2, 0)), dtype=np.float64)
-    taus = np.zeros(max(n - 2, 0), dtype=np.float64)
+    V = np.zeros((n, max(n - 2, 0)), dtype=dt)
+    taus = np.zeros(max(n - 2, 0), dtype=dt)
     flops = 0.0
     blas2 = 0.0
 
@@ -98,8 +100,8 @@ def direct_tridiagonalize(A: np.ndarray, block: int = 32) -> DirectTridiagResult
     while j0 < n - 2:
         jb = min(nb, n - 2 - j0)
         # Global-row, zero-padded panel factors (the latrd V and W).
-        Vp = np.zeros((n, jb), dtype=np.float64)
-        Wp = np.zeros((n, jb), dtype=np.float64)
+        Vp = np.zeros((n, jb), dtype=dt)
+        Wp = np.zeros((n, jb), dtype=dt)
         for jj in range(jb):
             c = j0 + jj
             if jj > 0:

@@ -25,8 +25,12 @@ the three independent solvers can cross-check each other.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..precision.refine import RefinementReport
 
 from ..backend.base import ArrayBackend
 from ..backend.context import ExecutionContext, resolve_context
@@ -44,12 +48,18 @@ class EVDResult:
     (columns), plus the tridiagonalization artifacts for inspection.
 
     ``tridiag`` is ``None`` for the ``method="dense"`` tier, which never
-    forms an explicit tridiagonal factorization."""
+    forms an explicit tridiagonal factorization.
+
+    ``refinement`` is populated only by the mixed-precision execution path
+    (``precision != "fp64"``): the :class:`repro.precision.RefinementReport`
+    of the iterative eigenpair refinement that promoted the low-precision
+    pipeline output back to fp64 accuracy."""
 
     eigenvalues: np.ndarray
     eigenvectors: np.ndarray | None
     tridiag: TridiagResult | None
     solver: str
+    refinement: RefinementReport | None = None
 
     @property
     def n(self) -> int:
@@ -131,6 +141,7 @@ def eigh(
     backend: str | ArrayBackend | ExecutionContext | None = None,
     secular_mode: str = "batched",
     fallback: str = "none",
+    precision: str = "fp64",
     **tridiag_kwargs,
 ) -> EVDResult:
     """Full symmetric EVD of ``A``.
@@ -167,6 +178,15 @@ def eigh(
         is verified (:func:`repro.resilience.verify_evd`) and on a typed
         convergence or verification failure the dense LAPACK tier and
         then the tridiagonal QR iteration are tried in order.
+    precision : {"fp64", "mixed", "fp32"}
+        Working-precision policy (see :mod:`repro.precision`).  ``"fp64"``
+        is the historical bit-identical path.  ``"mixed"`` runs the
+        two-stage reduction and the D&C eigenvector GEMMs in float32,
+        then promotes and iteratively refines the eigenpairs back to
+        fp64 accuracy (escalating to the full fp64 pipeline if the
+        refinement stalls).  ``"fp32"`` runs in float32 and refines, but
+        accepts float32-level tolerances.  Non-fp64 policies require the
+        NumPy backend and ``compute_vectors=True`` for ``"mixed"``.
     **tridiag_kwargs
         The pipeline knob surface (``bandwidth``, ``second_block``,
         ``max_sweeps``, ``tuning``, ...) — parsed into a typed
@@ -191,6 +211,7 @@ def eigh(
         secular_mode=secular_mode,
         backend=ctx.backend.name,
         fallback=fallback,
+        precision=precision,
         **tridiag_kwargs,
     )
     if plan.fallback == "chain":

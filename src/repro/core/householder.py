@@ -35,10 +35,25 @@ from ..backend.base import assert_f64
 # make_householder squares entries directly (no scale-safe dnrm2), so the
 # guard must fire while the *squares* are still full-precision normals:
 # ||x|| below sqrt(tiny)/eps puts alpha^2 + sigma in the denormal range.
-# The rescale factor itself is LAPACK dlarfg's 1/safmin.
+# The rescale factor itself is LAPACK dlarfg's 1/safmin.  The thresholds
+# are per working precision (slarfg vs dlarfg): judging an fp32 vector
+# against the fp64 threshold would never fire — fp32 squares underflow
+# around 1e-38, ~100 orders of magnitude above the fp64 guard.
 _RESCALE_BELOW = np.sqrt(np.finfo(np.float64).tiny) / np.finfo(np.float64).eps
 _SAFE_MIN = np.finfo(np.float64).tiny / np.finfo(np.float64).eps
 _INV_SAFE_MIN = 1.0 / _SAFE_MIN
+_RESCALE_BELOW_F32 = float(
+    np.sqrt(np.finfo(np.float32).tiny) / np.finfo(np.float32).eps
+)
+_SAFE_MIN_F32 = float(np.finfo(np.float32).tiny / np.finfo(np.float32).eps)
+_INV_SAFE_MIN_F32 = 1.0 / _SAFE_MIN_F32
+
+
+def _rescale_constants(dtype) -> tuple[float, float, float]:
+    """(rescale_below, safe_min, 1/safe_min) for the working precision."""
+    if np.dtype(dtype) == np.float32:
+        return _RESCALE_BELOW_F32, _SAFE_MIN_F32, _INV_SAFE_MIN_F32
+    return float(_RESCALE_BELOW), float(_SAFE_MIN), float(_INV_SAFE_MIN)
 
 __all__ = [
     "make_householder",
@@ -74,7 +89,7 @@ def make_householder(x: np.ndarray) -> tuple[np.ndarray, float, float]:
         raise ValueError("make_householder expects a non-empty 1-D array")
     assert_f64(x, "make_householder input")
     m = x.size
-    v = np.zeros(m, dtype=np.float64)
+    v = np.zeros(m, dtype=x.dtype)
     v[0] = 1.0
     if m == 1:
         return v, 0.0, float(x[0])
@@ -82,18 +97,19 @@ def make_householder(x: np.ndarray) -> tuple[np.ndarray, float, float]:
     alpha = float(x[0])
     if sigma == 0.0:
         return v, 0.0, alpha
+    rescale_below, safe_min, inv_safe_min = _rescale_constants(x.dtype)
     beta = -np.copysign(np.sqrt(alpha * alpha + sigma), alpha)
-    if abs(beta) < _RESCALE_BELOW:
+    if abs(beta) < rescale_below:
         # ||x|| is in the range where the squared terms above lose their
         # precision to denormals.  LAPACK dlarfg's escape hatch: scale the
         # vector up into the safe range, build the (scale-invariant)
         # reflector there, and rescale only beta back down.
         tail = x[1:].copy()
         knt = 0
-        while abs(beta) < _RESCALE_BELOW and knt < 20:
-            tail *= _INV_SAFE_MIN
-            alpha *= _INV_SAFE_MIN
-            beta *= _INV_SAFE_MIN
+        while abs(beta) < rescale_below and knt < 20:
+            tail *= inv_safe_min
+            alpha *= inv_safe_min
+            beta *= inv_safe_min
             knt += 1
         sigma = float(np.dot(tail, tail))
         beta = -np.copysign(np.sqrt(alpha * alpha + sigma), alpha)
@@ -101,7 +117,7 @@ def make_householder(x: np.ndarray) -> tuple[np.ndarray, float, float]:
         v[1:] = tail / v0
         tau = (beta - alpha) / beta
         for _ in range(knt):
-            beta *= _SAFE_MIN
+            beta *= safe_min
         return v, float(tau), float(beta)
     v0 = alpha - beta
     v[1:] = x[1:] / v0
@@ -143,10 +159,10 @@ def batched_make_householder(
         raise ValueError("batched_make_householder expects a non-empty (S, m) array")
     assert_f64(X, "batched_make_householder input")
     S, m = X.shape
-    V = xp.zeros((S, m), dtype=np.float64)
+    V = xp.zeros((S, m), dtype=X.dtype)
     V[:, 0] = 1.0
     if m == 1:
-        return V, xp.zeros(S, dtype=np.float64), xp.copy(X[:, 0])
+        return V, xp.zeros(S, dtype=X.dtype), xp.copy(X[:, 0])
     sigma = xp.einsum("ij,ij->i", X[:, 1:], X[:, 1:])
     alpha = xp.copy(X[:, 0])
     nz = sigma != 0.0
@@ -218,16 +234,17 @@ class WYAccumulator:
         Pre-allocated number of columns (grows automatically otherwise).
     """
 
-    def __init__(self, m: int, capacity: int = 8):
+    def __init__(self, m: int, capacity: int = 8, dtype=np.float64):
         self.m = int(m)
-        self._W = np.zeros((m, capacity), dtype=np.float64)
-        self._Y = np.zeros((m, capacity), dtype=np.float64)
+        self.dtype = np.dtype(dtype)
+        self._W = np.zeros((m, capacity), dtype=self.dtype)
+        self._Y = np.zeros((m, capacity), dtype=self.dtype)
         self.k = 0
 
     def _grow(self) -> None:
         cap = self._W.shape[1]
-        newW = np.zeros((self.m, 2 * cap), dtype=np.float64)
-        newY = np.zeros((self.m, 2 * cap), dtype=np.float64)
+        newW = np.zeros((self.m, 2 * cap), dtype=self.dtype)
+        newY = np.zeros((self.m, 2 * cap), dtype=self.dtype)
         newW[:, :cap] = self._W
         newY[:, :cap] = self._Y
         self._W, self._Y = newW, newY
@@ -270,9 +287,11 @@ def accumulate_wy(V: np.ndarray, taus: np.ndarray) -> tuple[np.ndarray, np.ndarr
     repeatedly calling :meth:`WYAccumulator.append` but returned as fresh
     arrays.
     """
-    V = np.asarray(V, dtype=np.float64)
+    V = np.asarray(V)
+    if V.dtype not in (np.float32, np.float64):
+        V = V.astype(np.float64)
     m, k = V.shape
-    acc = WYAccumulator(m, capacity=max(k, 1))
+    acc = WYAccumulator(m, capacity=max(k, 1), dtype=V.dtype)
     for j in range(k):
         acc.append(V[:, j], float(taus[j]))
     return acc.W.copy(), acc.Y.copy()
@@ -302,9 +321,11 @@ def larft(V: np.ndarray, taus: np.ndarray) -> np.ndarray:
         T[:j, j] = -tau_j * T[:j, :j] @ (V[:, :j]^T V[:, j])
         T[j, j]  = tau_j
     """
-    V = np.asarray(V, dtype=np.float64)
+    V = np.asarray(V)
+    if V.dtype not in (np.float32, np.float64):
+        V = V.astype(np.float64)
     k = V.shape[1]
-    T = np.zeros((k, k), dtype=np.float64)
+    T = np.zeros((k, k), dtype=V.dtype)
     for j in range(k):
         tau = float(taus[j])
         T[j, j] = tau
@@ -316,10 +337,10 @@ def larft(V: np.ndarray, taus: np.ndarray) -> np.ndarray:
 def build_q_from_wy(W: np.ndarray, Y: np.ndarray) -> np.ndarray:
     """Materialize ``Q = I - W Y^T`` (mostly for tests / small matrices)."""
     m = W.shape[0]
-    return np.eye(m) - W @ Y.T
+    return np.eye(m, dtype=W.dtype) - W @ Y.T
 
 
 def build_q_from_compact_wy(V: np.ndarray, T: np.ndarray) -> np.ndarray:
     """Materialize ``Q = I - V T V^T`` from compact-WY factors."""
     m = V.shape[0]
-    return np.eye(m) - V @ (T @ V.T)
+    return np.eye(m, dtype=V.dtype) - V @ (T @ V.T)

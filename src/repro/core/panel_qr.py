@@ -37,12 +37,16 @@ def panel_qr(panel: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     Equivalently ``panel = (I - W Y^T) [R; 0]`` with ``(W, Y)`` from
     :func:`repro.core.householder.accumulate_wy`.
     """
-    A = np.array(panel, dtype=np.float64, copy=True)
+    panel = np.asarray(panel)
+    # Preserve a float32/float64 working precision; anything else (int
+    # test inputs, lists) is promoted to the historical float64.
+    dt = panel.dtype if panel.dtype in (np.float32, np.float64) else np.float64
+    A = np.array(panel, dtype=dt, copy=True)
     m, b = A.shape
     if m < b:
         raise ValueError(f"panel must be tall: got {m} x {b}")
-    V = np.zeros((m, b), dtype=np.float64)
-    taus = np.zeros(b, dtype=np.float64)
+    V = np.zeros((m, b), dtype=dt)
+    taus = np.zeros(b, dtype=dt)
     for j in range(b):
         v, tau, beta = make_householder(A[j:, j])
         V[j:, j] = v
@@ -85,7 +89,7 @@ def explicit_q(V: np.ndarray, taus: np.ndarray) -> np.ndarray:
     intended for tests and small problems.
     """
     m, b = V.shape
-    Q = np.eye(m)
+    Q = np.eye(m, dtype=V.dtype if V.dtype in (np.float32, np.float64) else None)
     for j in range(b - 1, -1, -1):
         tau = float(taus[j])
         if tau == 0.0:

@@ -90,9 +90,11 @@ def _qr_wy(P: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     part exists), returning ``(W, Y, R_block)`` with ``R_block`` the
     transformed block (upper trapezoidal).
     """
-    A = np.array(P, dtype=np.float64, copy=True)
+    P = np.asarray(P)
+    dt = P.dtype if P.dtype in (np.float32, np.float64) else np.float64
+    A = np.array(P, dtype=dt, copy=True)
     m, w = A.shape
-    acc = WYAccumulator(m)
+    acc = WYAccumulator(m, dtype=dt)
     for j in range(min(m - 1, w)):
         v, tau, beta = make_householder(A[j:, j])
         A[j, j] = beta
@@ -100,7 +102,7 @@ def _qr_wy(P: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         if tau != 0.0 and j + 1 < w:
             C = A[j:, j + 1 :]
             C -= np.outer(tau * v, v @ C)
-        vg = np.zeros(m)
+        vg = np.zeros(m, dtype=dt)
         vg[j:] = v
         acc.append(vg, tau)
     return acc.W.copy(), acc.Y.copy(), A

@@ -232,17 +232,28 @@ def tridiagonalize_planned(
     A: np.ndarray,
     plan: EVDPlan,
     ctx: ExecutionContext | None = None,
+    dtype: np.dtype | None = None,
 ) -> TridiagResult:
     """Execute the tridiagonalization branch of a resolved plan.
 
     The planned twin of :func:`tridiagonalize`: no knob parsing, no
     ``auto_params`` — the plan already carries the resolved block sizes.
     This is the driver :func:`repro.plan.execute_plan` runs.
+
+    ``dtype`` sets the working precision of the reduction (``None`` =
+    float64, the historical bit-identical contract); the mixed-precision
+    driver passes float32 here to run the whole two-stage reduction in
+    single precision.
     """
     if plan.tridiag is None:
         raise ValueError("plan has no tridiagonalization stage (dense tier)")
     return _run_tridiag(
-        A, plan.tridiag, plan.bulge_chase, plan.back_transform, resolve_context(ctx)
+        A,
+        plan.tridiag,
+        plan.bulge_chase,
+        plan.back_transform,
+        resolve_context(ctx),
+        dtype=dtype,
     )
 
 
@@ -252,14 +263,16 @@ def _run_tridiag(
     bcfg: BulgeChaseConfig | None,
     btcfg: BackTransformConfig | None,
     ctx: ExecutionContext,
+    dtype: np.dtype | None = None,
 ) -> TridiagResult:
     """Resolved-config execution body (identical arithmetic and stage
     structure to the historical ``tridiagonalize``)."""
     from .validation import check_symmetric
 
     # The single dtype-coercion point of the pipeline: check_symmetric
-    # hands back a float64 host copy, everything below asserts float64.
-    A = check_symmetric(A)
+    # hands back a working copy in the requested precision (float64 by
+    # default), everything below follows the input dtype.
+    A = check_symmetric(A, dtype=dtype)
     n = A.shape[0]
 
     if tcfg.method == "direct":

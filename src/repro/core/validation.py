@@ -22,6 +22,7 @@ single-bit difference does not.
 from __future__ import annotations
 
 import hashlib
+import warnings
 
 import numpy as np
 
@@ -30,6 +31,7 @@ from ..resilience.errors import ReproError
 __all__ = [
     "check_symmetric",
     "matrix_fingerprint",
+    "PrecisionWarning",
     "SymmetryError",
     "NonSquareError",
     "NonFiniteError",
@@ -59,12 +61,34 @@ class EmptyMatrixError(ReproError, ValueError):
     solve (and the kernels' ``n >= 1`` assumptions would trip)."""
 
 
+class PrecisionWarning(UserWarning):
+    """A float32 input was silently widened to float64 at an entry point.
+
+    The pipeline's working precision defaults to float64, so a float32
+    matrix is upcast on entry — it costs the fp64 compute rate without
+    gaining fp64 input accuracy.  Callers who *meant* to trade precision
+    for speed should request ``precision="mixed"`` (fp32 pipeline with
+    refinement back to fp64 tolerances, see :mod:`repro.precision`),
+    which suppresses this warning.
+    """
+
+
 def check_symmetric(
     A: np.ndarray,
     tol: float = DEFAULT_SYMMETRY_TOL,
     symmetrize: bool = True,
+    dtype: np.dtype | None = None,
+    warn_on_upcast: bool = True,
 ) -> np.ndarray:
-    """Validate a symmetric-matrix input and return a clean FP64 copy.
+    """Validate a symmetric-matrix input and return a clean working copy.
+
+    ``dtype`` is the working precision of the returned copy — float64
+    by default (the historical contract, bit-identical); a
+    mixed-precision policy passes float32 here, the *single*
+    dtype-coercion point of the pipeline.  A float32 input silently
+    widened to float64 emits :class:`PrecisionWarning` (disable with
+    ``warn_on_upcast=False`` — the precision driver does, because under
+    an explicit policy the upcast is intentional).
 
     Raises
     ------
@@ -80,26 +104,44 @@ def check_symmetric(
     Returns
     -------
     ndarray
-        ``(A + A^T)/2`` as float64 (or ``A`` itself when already exactly
-        symmetric), never aliasing the input.
+        ``(A + A^T)/2`` in the working dtype (or the coerced copy
+        itself when already exactly symmetric), never aliasing the
+        input.
     """
     A = np.asarray(A)
     if A.ndim != 2 or A.shape[0] != A.shape[1]:
         raise NonSquareError(f"expected a square matrix, got shape {A.shape}")
     if A.shape[0] == 0:
         raise EmptyMatrixError("expected a non-empty matrix, got shape (0, 0)")
-    A = np.array(A, dtype=np.float64, copy=True)
+    target = np.dtype(np.float64) if dtype is None else np.dtype(dtype)
+    if (
+        warn_on_upcast
+        and A.dtype == np.float32
+        and target == np.float64
+    ):
+        warnings.warn(
+            "float32 input is being widened to float64: the solve pays the "
+            "fp64 compute rate without fp64 input accuracy; pass "
+            "precision='mixed' to run the pipeline in fp32 with refinement "
+            "back to fp64 tolerances (see repro.precision)",
+            PrecisionWarning,
+            stacklevel=3,
+        )
+    A = np.array(A, dtype=target, copy=True)
     if not np.all(np.isfinite(A)):
         raise NonFiniteError("matrix contains NaN or Inf entries")
-    norm = np.linalg.norm(A)
-    asym = np.linalg.norm(A - A.T)
+    # The symmetry gate is always judged in fp64: a float32 working copy
+    # must not loosen (or re-randomize) the acceptance threshold.
+    A64 = np.asarray(A, dtype=np.float64)
+    norm = np.linalg.norm(A64)
+    asym = np.linalg.norm(A64 - A64.T)
     if asym > tol * max(norm, np.finfo(np.float64).tiny):
         raise SymmetryError(
             f"input is not symmetric: ||A - A^T||/||A|| = {asym / max(norm, 1e-300):.2e}"
             f" exceeds tol = {tol:g}"
         )
     if asym > 0.0 and symmetrize:
-        A = (A + A.T) / 2.0
+        A = (A + A.T) / np.asarray(2.0, dtype=target)
     return A
 
 

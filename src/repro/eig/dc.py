@@ -151,6 +151,11 @@ def _rank_one_update(
         zhat = refine_z(roots, z[nd], rho, mode=secular_mode, workspace=pool)
         S = secular_eigenvectors(roots, zhat, mode=secular_mode, workspace=pool)
     with ctx.stage("dc_gemm", rows=int(Q.shape[0]), k=int(nd.size)):
+        # Mixed precision: the secular stage always runs fp64, but the
+        # merge GEMM — the O(n^3) cost of D&C — follows the carried
+        # basis dtype.  For fp64 Q the astype is a no-op (same object),
+        # keeping the historical path bit-identical.
+        S = S.astype(Q.dtype, copy=False)
         if ctx.is_numpy:
             Q_nd = Q[:, nd] @ S
         else:
@@ -172,18 +177,18 @@ def _block_diag_rows(
 ) -> np.ndarray:
     """The carried basis for a merge: full block diagonal in vector mode,
     or just its first and last rows in eigenvalues-only mode."""
-    assert U1.dtype == np.float64 and U2.dtype == np.float64, (
-        "carried eigenvector bases must stay float64 "
+    assert U1.dtype == U2.dtype, (
+        "carried eigenvector bases must share a dtype "
         f"(got {U1.dtype} / {U2.dtype})"
     )
     n1, k1 = U1.shape
     n2, k2 = U2.shape
     if rows_only:
-        Q = np.zeros((2, k1 + k2), dtype=np.float64)
+        Q = np.zeros((2, k1 + k2), dtype=U1.dtype)
         Q[0, :k1] = U1[0]
         Q[1, k1:] = U2[-1]
         return Q
-    Q = np.zeros((n1 + n2, k1 + k2), dtype=np.float64)
+    Q = np.zeros((n1 + n2, k1 + k2), dtype=U1.dtype)
     Q[:n1, :k1] = U1
     Q[n1:, k1:] = U2
     return Q
@@ -225,6 +230,7 @@ def _dc_level_order(
     stats: DCStats,
     ctx: ExecutionContext,
     secular_mode: str,
+    vector_dtype: np.dtype = np.float64,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Execute the merge tree level by level.
 
@@ -253,7 +259,13 @@ def _dc_level_order(
     with ctx.stage("dc_leaf", count=len(leaves)):
         for s, t in leaves:
             lam, U = tridiag_qr_eigh(dmod[s:t], e[s : t - 1], compute_vectors=True)
-            Q = np.vstack([U[0], U[-1]]) if rows_only else U
+            if rows_only:
+                # The 2-row basis drives the secular z vectors and stays
+                # fp64 regardless of vector_dtype: it is eigenvalue
+                # machinery, not eigenvector carrying.
+                Q = np.vstack([U[0], U[-1]])
+            else:
+                Q = U.astype(vector_dtype, copy=False)
             done[(s, t)] = (lam, Q)
 
     # Merge wave: deepest level first; the merges inside one level are
@@ -265,8 +277,10 @@ def _dc_level_order(
             rho = float(e[m - 1])
             D = np.concatenate([lam1, lam2])
             # z = Q^T v needs only the last row of the left basis and the
-            # first row of the right one.
-            z = np.concatenate([Q1[-1], Q2[0]])
+            # first row of the right one.  Promote to fp64: the secular
+            # machinery always runs in double even when the carried basis
+            # is fp32 (for fp64 bases this is a no-op view).
+            z = np.concatenate([Q1[-1], Q2[0]]).astype(np.float64, copy=False)
             Q = _block_diag_rows(Q1, Q2, rows_only)
             stats.merges += 1
             stats.sizes.append(t - s)
@@ -283,6 +297,7 @@ def dc_eigh(
     return_stats: bool = False,
     ctx: ExecutionContext | None = None,
     secular_mode: str = "batched",
+    vector_dtype: np.dtype | None = None,
 ):
     """Eigendecomposition of ``tridiag(d, e)`` by divide and conquer.
 
@@ -305,6 +320,14 @@ def dc_eigh(
     secular_mode : {"batched", "scalar"}
         ``"batched"`` (default) runs the vectorized secular machinery;
         ``"scalar"`` the original per-root loops (the bit-exact oracle).
+    vector_dtype : dtype, optional
+        Working dtype of the eigenvector carrying and per-level merge
+        GEMMs (the O(n^3) cost).  The eigenvalue/secular machinery —
+        leaf QL solves, deflation, secular roots, z refinement — always
+        runs float64 on the float64 ``(d, e)``.  ``None`` (the default,
+        and the only value fp64 plans ever pass) is bit-identical to
+        the historical solver.  Ignored in eigenvalues-only mode, whose
+        2-row carried basis is eigenvalue machinery.
 
     Returns
     -------
@@ -322,9 +345,19 @@ def dc_eigh(
         raise ValueError(
             f"unknown secular_mode {secular_mode!r}; expected 'batched' or 'scalar'"
         )
+    vdt = np.dtype(np.float64) if vector_dtype is None else np.dtype(vector_dtype)
+    if vdt not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError(f"vector_dtype must be float32 or float64, got {vdt}")
     stats = DCStats()
     lam, Q = _dc_level_order(
-        d, e, not compute_vectors, base_size, stats, resolve_context(ctx), secular_mode
+        d,
+        e,
+        not compute_vectors,
+        base_size,
+        stats,
+        resolve_context(ctx),
+        secular_mode,
+        vector_dtype=vdt,
     )
     U = Q if compute_vectors else None
     if return_stats:

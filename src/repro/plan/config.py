@@ -109,6 +109,13 @@ class EVDPlan:
     two must share cache entries — escalated results are instead keyed
     under the plan that actually produced them (see
     :mod:`repro.serve.cache`).
+
+    ``precision`` names the :class:`~repro.precision.PrecisionPolicy`
+    the plan executes under (``"fp64"`` — the historical path —
+    ``"mixed"`` or ``"fp32"``).  Unlike ``fallback`` it *is* part of
+    :meth:`cache_token` whenever it differs from ``"fp64"``: the policy
+    changes the arithmetic, so fp32- and fp64-produced results must
+    never alias in the serving cache.
     """
 
     n: int
@@ -120,6 +127,7 @@ class EVDPlan:
     back_transform: BackTransformConfig | None = None
     tuning: str = "manual"  # "manual" | "model"
     fallback: str = "none"  # "none" | "chain"
+    precision: str = "fp64"  # "fp64" | "mixed" | "fp32"
 
     @property
     def is_dense(self) -> bool:
@@ -159,6 +167,11 @@ class EVDPlan:
         bt = self.back_transform
         if bt is not None:
             parts.append(f"bt={bt.method},group={bt.group}")
+        if self.precision != "fp64":
+            # The default is omitted so every pre-precision token (and
+            # cache entry) stays stable; any other policy changes the
+            # arithmetic and must key separately.
+            parts.append(f"precision={self.precision}")
         return ";".join(parts)
 
     def to_dict(self) -> dict[str, Any]:
@@ -169,6 +182,7 @@ class EVDPlan:
             "backend": self.backend,
             "tuning": self.tuning,
             "fallback": self.fallback,
+            "precision": self.precision,
             "tridiag": None if self.tridiag is None else asdict(self.tridiag),
             "bulge_chase": (
                 None if self.bulge_chase is None else asdict(self.bulge_chase)
@@ -189,6 +203,7 @@ class EVDPlan:
             backend=str(data["backend"]),
             tuning=str(data.get("tuning", "manual")),
             fallback=str(data.get("fallback", "none")),
+            precision=str(data.get("precision", "fp64")),
             tridiag=(
                 None
                 if data["tridiag"] is None
@@ -211,9 +226,10 @@ class EVDPlan:
     def describe(self) -> str:
         """Human-readable resolved-plan tree (``repro plan`` output)."""
         fb = f"  fallback={self.fallback}" if self.fallback != "none" else ""
+        pr = f"  precision={self.precision}" if self.precision != "fp64" else ""
         lines = [
             f"EVDPlan  n={self.n}  method={self.method!r}  "
-            f"backend={self.backend}  tuning={self.tuning}{fb}"
+            f"backend={self.backend}  tuning={self.tuning}{fb}{pr}"
         ]
         t = self.tridiag
         if t is None:

@@ -60,6 +60,7 @@ BACK_TRANSFORMS = ("incremental", "blocked", "recursive")
 SYR2K_KINDS = ("square", "rect", "reference")
 TUNINGS = ("manual", "model", "auto")
 FALLBACKS = ("none", "chain")
+PRECISIONS = ("fp64", "mixed", "fp32")
 
 #: Every pipeline knob ``plan_evd``/``eigh`` accept beyond the named
 #: parameters (the historical ``**tridiag_kwargs`` surface).
@@ -292,6 +293,7 @@ def plan_evd(
     tuning: str = "manual",
     device: str = "h100",
     fallback: str = "none",
+    precision: str = "fp64",
     **knobs: Any,
 ) -> EVDPlan:
     """Resolve a full EVD execution plan for an ``n x n`` problem.
@@ -311,6 +313,14 @@ def plan_evd(
     (:func:`repro.resilience.execute_plan_with_fallback`): on a typed
     convergence or verification failure the dense LAPACK tier and then
     the tridiagonal QR iteration are tried in order.
+    ``precision`` selects the per-stage dtype policy
+    (:mod:`repro.precision`): ``"fp64"`` (default, the historical
+    bit-exact path), ``"mixed"`` (fp32 pipeline + Ogita–Aishima
+    refinement back to fp64 tolerances) or ``"fp32"`` (raw single
+    precision).  Non-default policies require the NumPy backend (the
+    accelerator backends coerce to float64 at their boundary) and —
+    when the policy refines — eigenvectors (``compute_vectors=True``),
+    since refinement operates on eigenpairs.
 
     Raises
     ------
@@ -333,8 +343,29 @@ def plan_evd(
         raise bad_choice("tuning", tuning, TUNINGS)
     if fallback not in FALLBACKS:
         raise bad_choice("fallback", fallback, FALLBACKS)
+    if precision not in PRECISIONS:
+        raise bad_choice("precision", precision, PRECISIONS)
     if method not in EVD_METHODS:
         raise bad_choice("method", method, EVD_METHODS)
+    if precision != "fp64":
+        if method == "dense":
+            raise PlanError(
+                f"precision={precision!r} applies to the tridiagonalization "
+                "pipeline; the dense LAPACK tier has no low-precision path — "
+                "use one of 'proposed', 'magma', 'cusolver', 'plasma'"
+            )
+        if backend != "numpy":
+            raise PlanError(
+                f"precision={precision!r} requires backend 'numpy' (the "
+                f"accelerator backends coerce to float64 at their boundary), "
+                f"got backend {backend!r}"
+            )
+        if precision == "mixed" and not compute_vectors:
+            raise PlanError(
+                "precision='mixed' refines eigen*pairs* and therefore needs "
+                "compute_vectors=True; use precision='fp32' for a raw "
+                "low-precision eigenvalues-only solve"
+            )
     _check_unknown(knobs)
 
     if method == "dense":
@@ -350,6 +381,7 @@ def plan_evd(
             ),
             tuning=tuning,
             fallback=fallback,
+            precision=precision,
         )
 
     preset = PRESETS.get(method)
@@ -380,4 +412,5 @@ def plan_evd(
         back_transform=back,
         tuning=tuning,
         fallback=fallback,
+        precision=precision,
     )

@@ -74,12 +74,21 @@ def solve_tridiagonal_planned(
     e: np.ndarray,
     solver: SolverConfig,
     ctx: ExecutionContext | None = None,
+    vector_dtype: np.dtype | None = None,
 ) -> tuple[np.ndarray, np.ndarray | None]:
     """Run the plan's tridiagonal eigensolver on ``(d, e)``.
 
     The one dispatch point over ``"dc"``/``"qr"``/``"bisect"`` — shared
     by :func:`execute_plan` and :func:`repro.core.svd.svd` (which solves
     a Golub–Kahan tridiagonal through the same stage).
+
+    ``vector_dtype`` (mixed-precision policies only) drops the D&C
+    eigenvector carrying and merge GEMMs to the given dtype; the
+    eigenvalue/secular machinery always runs fp64.  ``None`` — the
+    default and the only value the fp64 path ever passes — is
+    bit-identical to the historical solver.  The ``"qr"``/``"bisect"``
+    solvers ignore it (their vectors are fp64 and the precision driver
+    casts afterwards).
     """
     from ..eig.dc import dc_eigh
     from ..eig.qr_iteration import tridiag_qr_eigh
@@ -92,6 +101,7 @@ def solve_tridiagonal_planned(
             compute_vectors=solver.compute_vectors,
             ctx=ctx,
             secular_mode=solver.secular_mode or "batched",
+            vector_dtype=vector_dtype,
         )
         return lam, U
     if solver.kind == "qr":
@@ -116,6 +126,14 @@ def execute_plan(
     from ..core.evd import EVDResult, eigh_stacked
     from ..core.tridiag import tridiagonalize_planned
     from ..core.validation import NonSquareError
+
+    if plan.precision != "fp64":
+        # Mixed/low-precision policies run through the precision driver
+        # (fp32 pipeline, promote, refine, verify, escalate on stall).
+        # Deferred import: repro.precision imports the plan layer.
+        from ..precision.driver import execute_plan_precision
+
+        return _maybe_corrupt_result(execute_plan_precision(A, plan, ctx=ctx))
 
     ctx = _resolve_plan_context(plan, ctx)
     if plan.is_dense:

@@ -1,0 +1,174 @@
+"""The mixed-precision execution path of the plan runner.
+
+:func:`execute_plan_precision` runs a resolved
+:class:`~repro.plan.EVDPlan` whose ``precision`` is not ``"fp64"``:
+
+1. the two-stage reduction in the policy's tridiag dtype (fp32 panel
+   QR, SYR2K trailing updates and bulge chasing under ``"mixed"``);
+2. the tridiagonal eigensolve with the eigenvector carrying / merge
+   GEMMs in the solver dtype (the D&C secular machinery always runs
+   fp64 on the fp64-promoted ``(d, e)`` — it is ``O(n^2)`` and
+   scalar-sensitive, so there is nothing to win and accuracy to lose);
+3. the back transformation in the back-transform dtype;
+4. promotion to fp64 and — when the policy refines — Ogita–Aishima
+   refinement (:func:`~repro.precision.refine_eigh`) down to fp64
+   ``verify_evd`` tolerances, followed by verification.
+
+**Escalation.**  A refinement stall
+(:class:`~repro.precision.RefinementStalled`), a convergence failure
+inside the low-precision pipeline, or a verification failure of the
+refined result escalates through the existing
+:func:`~repro.resilience.execute_plan_with_fallback` chain with the
+plan's fp64 twin — recording the failed mixed attempt as an
+:class:`~repro.resilience.EscalationRecord` on the result's
+``refinement`` report.  Escalation is *deterministic* (refinement has
+no random state), so a result produced this way is still a pure
+function of ``(matrix bytes, plan)`` and remains valid under the
+plan's cache token.
+
+The raw ``"fp32"`` policy skips refinement *and* verification: it is
+the speed tier for callers that accept single-precision accuracy, and
+its results will generally not pass fp64 ``verify_evd`` tolerances
+(serve with ``verify=True`` will fail such requests unless they carry
+``fallback="chain"`` or looser explicit tolerances).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ..backend.context import ExecutionContext, resolve_context
+from ..resilience.errors import ConvergenceError, VerificationError
+from ..resilience.fallback import EscalationRecord, execute_plan_with_fallback
+from ..resilience.verify import verify_evd
+from .policy import PrecisionPolicy, resolve_policy
+from .refine import RefinementReport, RefinementStalled, refine_eigh
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.evd import EVDResult
+    from ..plan.config import EVDPlan
+
+__all__ = ["execute_plan_precision"]
+
+
+def _pipeline_result(
+    A64: np.ndarray,
+    plan: "EVDPlan",
+    policy: PrecisionPolicy,
+    ctx: ExecutionContext,
+) -> "EVDResult":
+    """Run the three pipeline stages in the policy's dtypes and return
+    the (unrefined, fp64-promoted-values) result."""
+    from ..core.evd import EVDResult
+    from ..core.tridiag import tridiagonalize_planned
+    from ..plan.runner import solve_tridiagonal_planned
+
+    with ctx.stage("tridiagonalize", method=plan.method, precision=policy.tridiag):
+        tri = tridiagonalize_planned(A64, plan, ctx=ctx, dtype=policy.tridiag_dtype)
+    # The tridiagonal (d, e) promote to fp64 regardless of policy: the
+    # secular/QL machinery is O(n^2) and scalar-sensitive — only the
+    # O(n^3) vector work drops precision.
+    d64 = np.asarray(tri.d, dtype=np.float64)
+    e64 = np.asarray(tri.e, dtype=np.float64)
+    with ctx.stage("tridiag_solver", solver=plan.solver.kind, precision=policy.solver):
+        lam, U = solve_tridiagonal_planned(
+            d64, e64, plan.solver, ctx=ctx, vector_dtype=policy.solver_dtype
+        )
+    V: np.ndarray | None = None
+    if plan.solver.compute_vectors:
+        assert U is not None
+        with ctx.stage("back_transform", precision=policy.back_transform):
+            V = np.array(U, dtype=policy.back_transform_dtype, copy=True)
+            tri.apply_q(V)
+    lam = np.asarray(lam, dtype=np.float64)
+    return EVDResult(
+        eigenvalues=lam, eigenvectors=V, tridiag=tri, solver=plan.solver.kind
+    )
+
+
+def _escalate(
+    A64: np.ndarray,
+    plan: "EVDPlan",
+    ctx: ExecutionContext,
+    exc: Exception,
+    iterations: int,
+) -> "EVDResult":
+    """Refinement stalled (or the low-precision pipeline failed): record
+    the mixed attempt and re-execute through the fallback chain with the
+    plan's fp64 twin (which keeps the plan's own ``fallback`` mode, so a
+    ``"chain"`` plan still escalates dense -> QR beyond fp64)."""
+    record = EscalationRecord(
+        step=0,
+        method=f"{plan.method}[precision={plan.precision}]",
+        solver=plan.solver.kind,
+        error_type=type(exc).__name__,
+        error=str(exc),
+    )
+    fp64_plan = dataclasses.replace(plan, precision="fp64")
+    outcome = execute_plan_with_fallback(A64, fp64_plan, ctx=ctx, verify=True)
+    report = RefinementReport(
+        iterations=iterations, converged=False, escalated=True
+    )
+    report.escalations = [record] + list(outcome.escalations)
+    result = outcome.result
+    result.refinement = report
+    return result
+
+
+def execute_plan_precision(
+    A: np.ndarray,
+    plan: "EVDPlan",
+    ctx: ExecutionContext | Any | None = None,
+) -> "EVDResult":
+    """Execute a plan whose ``precision`` policy is not the fp64 default.
+
+    Called by :func:`repro.plan.execute_plan` (never directly by entry
+    points); returns the same :class:`~repro.core.evd.EVDResult` shape,
+    with ``result.refinement`` carrying the
+    :class:`~repro.precision.RefinementReport` for refined policies.
+    """
+    from ..core.validation import NonSquareError, check_symmetric
+    from ..plan.runner import _check_plan_matches, _resolve_plan_context
+
+    policy = resolve_policy(plan.precision)
+    ctx = _resolve_plan_context(plan, ctx)
+    A = np.asarray(A)
+    if A.ndim != 2 or A.shape[0] != A.shape[1]:
+        raise NonSquareError(f"expected a square matrix, got shape {A.shape}")
+    _check_plan_matches(A, plan)
+    # The fp64 master copy: the refinement/verification reference, and
+    # the input each pipeline stage casts down from.  No upcast warning —
+    # a float32 input under an explicit precision policy is exactly the
+    # intended use.
+    A64 = check_symmetric(A, warn_on_upcast=False)
+
+    try:
+        result = _pipeline_result(A64, plan, policy, ctx)
+    except (ConvergenceError, VerificationError) as exc:
+        if not policy.refine:
+            raise
+        return _escalate(A64, plan, ctx, exc, iterations=0)
+
+    if not policy.refine:
+        return result
+
+    assert result.eigenvectors is not None  # planner forbids vectorless refine
+    try:
+        lam, V, report = refine_eigh(
+            A64, result.eigenvalues, result.eigenvectors, ctx=ctx
+        )
+    except RefinementStalled as exc:
+        return _escalate(A64, plan, ctx, exc, iterations=exc.iterations or 0)
+    except ConvergenceError as exc:  # injected fault at precision.refine
+        return _escalate(A64, plan, ctx, exc, iterations=0)
+    result.eigenvalues = lam
+    result.eigenvectors = V
+    result.refinement = report
+    try:
+        verify_evd(A64, result, ctx=ctx).raise_if_failed()
+    except VerificationError as exc:
+        return _escalate(A64, plan, ctx, exc, iterations=report.iterations)
+    return result

@@ -83,7 +83,8 @@ class FallbackOutcome:
 def resolve_fallback_chain(plan) -> list:
     """The ordered escalation for ``plan``: the plan itself (with
     ``fallback`` cleared — each link is a plain, directly-executable
-    plan), then the dense LAPACK tier, then the tridiagonal QR
+    plan), then — for a non-fp64 precision policy — the plan's fp64
+    twin, then the dense LAPACK tier, then the tridiagonal QR
     iteration; links identical to an earlier one are dropped.
     """
     import dataclasses
@@ -96,6 +97,16 @@ def resolve_fallback_chain(plan) -> list:
         else plan
     )
     vectors = plan.solver.compute_vectors
+    candidates = [primary]
+    if getattr(plan, "precision", "fp64") != "fp64":
+        # A low-precision plan's first escalation target is full fp64 on
+        # the same pipeline (the precision driver already tries this for
+        # refined policies; the explicit link covers raw-fp32 plans and
+        # keeps the chain's invariant that later links are strictly more
+        # conservative).
+        candidates.append(
+            dataclasses.replace(primary, precision="fp64")
+        )
     dense = plan_evd(
         plan.n, "dense", compute_vectors=vectors, backend=plan.backend
     )
@@ -106,9 +117,10 @@ def resolve_fallback_chain(plan) -> list:
         compute_vectors=vectors,
         backend=plan.backend,
     )
+    candidates += [dense, qr]
     chain: list = []
     seen: set[str] = set()
-    for candidate in (primary, dense, qr):
+    for candidate in candidates:
         token = candidate.cache_token()
         if token not in seen:
             seen.add(token)

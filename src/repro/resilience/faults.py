@@ -82,6 +82,9 @@ FAULT_SITES: dict[str, str] = {
     "(crash target)",
     "serve.backend": "repro.serve.SolverService plan execution on the worker "
     "backend (backend-fault target)",
+    "precision.refine": "repro.precision.refine.refine_eigh — one Ogita–Aishima "
+    "refinement sweep of a mixed-precision result (stall target: a "
+    "convergence fault here forces the fp64 escalation path)",
 }
 
 FAULT_KINDS = ("nan", "convergence", "crash", "backend")

@@ -176,6 +176,10 @@ class ServiceMetrics:
         self.breaker_fallbacks = Counter()
         self.residuals = ValueHistogram(max_samples)
         self.orth_errors = ValueHistogram(max_samples)
+        # Mixed precision: refinement sweep counts of non-fp64 requests
+        # and how many of them escalated to the full fp64 pipeline.
+        self.refinement_iterations = CountHistogram()
+        self.precision_escalations = Counter()
 
     def snapshot(self) -> dict:
         return {
@@ -206,5 +210,9 @@ class ServiceMetrics:
                 "breaker_fallbacks": self.breaker_fallbacks.value,
                 "residuals": self.residuals.snapshot(),
                 "orth_errors": self.orth_errors.snapshot(),
+            },
+            "precision": {
+                "refinement_iterations": self.refinement_iterations.snapshot(),
+                "escalations": self.precision_escalations.value,
             },
         }

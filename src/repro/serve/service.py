@@ -673,6 +673,11 @@ class SolverService:
         if breaker is not None:
             breaker.record_success()
         self._record_outcome(outcome)
+        refinement = getattr(result, "refinement", None)
+        if refinement is not None:
+            self.metrics.refinement_iterations.observe(refinement.iterations)
+            if refinement.escalated:
+                self.metrics.precision_escalations.inc()
         if outcome is not None and outcome.escalated:
             # Never under the submitted plan's token (structurally
             # refused by the cache) — re-keyed under the producing plan.

@@ -30,6 +30,7 @@ __all__ = [
     "SECOND_BLOCK_MULTS",
     "DIRECT_BLOCKS",
     "DENSE_CROSSOVER_MAX_N",
+    "PRECISION_AXIS",
     "SERVE_BATCH_THRESHOLDS",
     "Candidate",
     "candidate_plan",
@@ -58,6 +59,11 @@ DENSE_CROSSOVER_MAX_N = 512
 #: Candidate ``dense_fastpath_max_n`` thresholds for the serving layer
 #: (0 = never promote), bounded by :data:`DENSE_CROSSOVER_MAX_N`.
 SERVE_BATCH_THRESHOLDS: tuple[int, ...] = (0, 16, 32, 64, 128, 256, 512)
+
+#: Precision policies the EVD tuner may explore.  ``"fp32"`` is excluded:
+#: it accepts float32-level tolerances, so its timings are not
+#: apples-to-apples with the fp64-accurate candidates.
+PRECISION_AXIS: tuple[str, ...] = ("fp64", "mixed")
 
 
 @dataclass(frozen=True)
@@ -188,15 +194,43 @@ def candidates(n: int, method: str = "dbbr", backend: str = "numpy") -> list[Can
 
 
 def evd_candidates(
-    n: int, method: str = "dbbr", backend: str = "numpy", include_dense: bool = True
+    n: int,
+    method: str = "dbbr",
+    backend: str = "numpy",
+    include_dense: bool = True,
+    precisions: tuple[str, ...] = ("fp64",),
 ) -> list[Candidate]:
     """The candidate list for a full EVD at size ``n``: the pipeline
     space plus — below the crossover — the dense tier, so small problems
-    can discover that no pipeline beats one vendor kernel."""
-    out = candidates(n, method, backend)
+    can discover that no pipeline beats one vendor kernel.
+
+    ``precisions`` adds a precision axis: for every non-``"fp64"`` entry
+    (see :data:`PRECISION_AXIS`) each pipeline candidate gains a twin
+    with ``precision=<policy>`` spelled as an explicit knob — exactly
+    what an end user would pass to ``eigh`` — so the tuner can discover
+    whether the fp32 pipeline + refinement beats the fp64 pipeline on
+    this machine.  Non-fp64 policies require the NumPy backend and never
+    apply to the dense tier (the planner would refuse both), so those
+    twins are simply not generated elsewhere.
+    """
+    base = candidates(n, method, backend)
+    out = list(base)
+    for policy in precisions:
+        if policy == "fp64":
+            continue
+        if policy not in PRECISION_AXIS:
+            raise bad_choice("tunable precision", policy, PRECISION_AXIS)
+        if backend != "numpy":
+            continue
+        for cand in base:
+            if resolve_method(cand.method) == "dense":
+                continue
+            out.append(
+                Candidate.make(cand.method, precision=policy, **cand.kwargs)
+            )
     if include_dense and n <= DENSE_CROSSOVER_MAX_N and resolve_method(method) != "dense":
         out.append(Candidate.make("dense"))
-    return out
+    return _dedup(n, out, backend)
 
 
 def serve_threshold_candidates(max_n: int | None = None) -> list[int]:

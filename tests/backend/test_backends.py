@@ -182,10 +182,12 @@ class TestRegistry:
 
 
 class TestAssertF64:
-    def test_accepts_f64_rejects_f32_and_nonarrays(self):
+    def test_accepts_f64_f32_rejects_other_dtypes_and_nonarrays(self):
         assert_f64(np.zeros(2))
+        # float32 is the mixed-precision working width — accepted too.
+        assert_f64(np.zeros(2, dtype=np.float32))
         with pytest.raises(TypeError, match="float64"):
-            assert_f64(np.zeros(2, dtype=np.float32))
+            assert_f64(np.zeros(2, dtype=np.int64))
         with pytest.raises(TypeError, match="float64"):
             assert_f64([1.0, 2.0])
 

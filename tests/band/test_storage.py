@@ -176,8 +176,11 @@ class TestBandWindowBatcher:
     def test_rejects_bad_arrays(self):
         from repro.band.storage import BandWindowBatcher
 
+        # float32 is a supported working width (mixed precision); only
+        # non-float dtypes, wrong ranks and non-contiguous arrays fail.
+        BandWindowBatcher(np.zeros((3, 8), dtype=np.float32))
         with pytest.raises(ValueError):
-            BandWindowBatcher(np.zeros((3, 8), dtype=np.float32))
+            BandWindowBatcher(np.zeros((3, 8), dtype=np.int64))
         with pytest.raises(ValueError):
             BandWindowBatcher(np.zeros(8))
         batcher = BandWindowBatcher(np.zeros((3, 8)))

@@ -1,0 +1,110 @@
+"""Precision policies: presets, validation, plan wiring, cache identity."""
+
+import numpy as np
+import pytest
+
+from repro.plan import PlanError, plan_evd
+from repro.precision import (
+    PRECISION_PRESETS,
+    PrecisionPolicy,
+    resolve_policy,
+)
+
+
+class TestPolicy:
+    def test_presets_cover_the_three_tokens(self):
+        assert set(PRECISION_PRESETS) == {"fp64", "mixed", "fp32"}
+
+    def test_fp64_preset_is_the_identity_policy(self):
+        p = resolve_policy("fp64")
+        assert p.is_fp64
+        assert not p.refine
+        assert p.tridiag_dtype == np.float64
+        assert p.solver_dtype == np.float64
+        assert p.back_transform_dtype == np.float64
+
+    def test_mixed_preset_drops_every_stage_and_refines(self):
+        p = resolve_policy("mixed")
+        assert not p.is_fp64
+        assert p.refine
+        assert p.tridiag_dtype == np.float32
+        assert p.solver_dtype == np.float32
+        assert p.back_transform_dtype == np.float32
+
+    def test_fp32_preset_skips_refinement(self):
+        p = resolve_policy("fp32")
+        assert not p.is_fp64
+        assert not p.refine
+        assert p.tridiag_dtype == np.float32
+
+    def test_policy_passthrough_and_unknown_token(self):
+        p = PRECISION_PRESETS["mixed"]
+        assert resolve_policy(p) is p
+        with pytest.raises(PlanError, match="precision"):
+            resolve_policy("bf16")
+
+    def test_bad_stage_dtype_rejected_at_construction(self):
+        with pytest.raises(PlanError, match="tridiag dtype"):
+            PrecisionPolicy(name="bad", tridiag="fp16")
+
+    def test_policy_is_frozen(self):
+        p = resolve_policy("mixed")
+        with pytest.raises(Exception):
+            p.tridiag = "fp64"
+
+    def test_describe_names_the_stages(self):
+        text = resolve_policy("mixed").describe()
+        assert "tridiag=fp32" in text and "refine" in text
+
+
+class TestPlannerGates:
+    def test_plan_accepts_and_stores_precision(self):
+        plan = plan_evd(128, "proposed", precision="mixed")
+        assert plan.precision == "mixed"
+
+    def test_default_is_fp64(self):
+        assert plan_evd(128, "proposed").precision == "fp64"
+
+    def test_unknown_precision_rejected(self):
+        with pytest.raises(PlanError, match="precision"):
+            plan_evd(128, "proposed", precision="tf32")
+
+    def test_non_numpy_backend_rejected(self):
+        with pytest.raises(PlanError, match="backend"):
+            plan_evd(128, "proposed", precision="mixed", backend="torch")
+
+    def test_dense_method_rejected(self):
+        with pytest.raises(PlanError):
+            plan_evd(128, "dense", precision="mixed")
+
+    def test_mixed_requires_vectors(self):
+        with pytest.raises(PlanError):
+            plan_evd(128, "proposed", precision="mixed", compute_vectors=False)
+
+    def test_fp32_without_vectors_is_allowed(self):
+        plan = plan_evd(128, "proposed", precision="fp32", compute_vectors=False)
+        assert plan.precision == "fp32"
+
+
+class TestCacheToken:
+    def test_fp64_token_matches_the_historical_spelling(self):
+        # Old tokens stay stable: the fp64 policy adds nothing.
+        with_knob = plan_evd(128, "proposed", precision="fp64")
+        without = plan_evd(128, "proposed")
+        assert with_knob.cache_token() == without.cache_token()
+        assert "precision" not in without.cache_token()
+
+    def test_non_fp64_token_is_distinct(self):
+        t64 = plan_evd(128, "proposed").cache_token()
+        tmx = plan_evd(128, "proposed", precision="mixed").cache_token()
+        t32 = plan_evd(128, "proposed", precision="fp32").cache_token()
+        assert len({t64, tmx, t32}) == 3
+        assert "precision=mixed" in tmx
+
+    def test_round_trips_through_dict(self):
+        from repro.plan import EVDPlan
+
+        plan = plan_evd(128, "proposed", precision="mixed")
+        again = EVDPlan.from_dict(plan.to_dict())
+        assert again.precision == "mixed"
+        assert again.cache_token() == plan.cache_token()

@@ -54,6 +54,7 @@ class TestSpecValidation:
         assert set(FAULT_SITES) == {
             "secular.newton", "dc.merge", "qr.sweep", "jacobi.sweep",
             "runner.result", "serve.worker", "serve.backend",
+            "precision.refine",
         }
         assert FAULT_KINDS == ("nan", "convergence", "crash", "backend")
 

@@ -94,6 +94,10 @@ class TestServiceMetrics:
             "cache_hits_at_submit", "coalesced", "batches", "stacked_batches",
             "latency_s", "queue_wait_s", "batch_sizes",
             "queue_depth_at_dequeue", "stage_times", "resilience",
+            "precision",
+        }
+        assert set(snap["precision"]) == {
+            "refinement_iterations", "escalations",
         }
         assert set(snap["resilience"]) == {
             "verifications", "verification_failures", "escalations",
